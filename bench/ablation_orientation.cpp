@@ -1,0 +1,51 @@
+// Ablation C — adjacency orientation. Eq. (5) over the full symmetric
+// matrix (paper Eq. (1), /6) vs the upper-triangular matrix of the
+// Fig. 2 walkthrough vs degree-ordered orientation (classic TC
+// optimization, not in the paper).
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/accelerator.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main() {
+  using namespace tcim;
+  using util::TablePrinter;
+
+  bench::PrintHeader(
+      "Ablation C: adjacency orientation",
+      "upper = Fig. 2 (triangle counted once); degree = rank-ordered "
+      "DAG;\nfull = symmetric matrix, Eq. (1) divide-by-six.");
+
+  for (const auto id : {graph::PaperDataset::kEmailEnron,
+                        graph::PaperDataset::kComYoutube}) {
+    const graph::DatasetInstance inst = bench::LoadDataset(id);
+    bench::PrintProvenance(std::cout, inst);
+    TablePrinter t({"Orientation", "Triangles", "AND ops", "Row writes",
+                    "Col writes", "Hit %", "TCIM serial s", "Energy"});
+    for (const auto o :
+         {graph::Orientation::kUpper, graph::Orientation::kDegree,
+          graph::Orientation::kFullSymmetric}) {
+      core::TcimConfig config;
+      config.orientation = o;
+      const core::TcimAccelerator accel{config};
+      const core::TcimResult r = accel.Run(inst.graph);
+      t.AddRow({graph::ToString(o),
+                TablePrinter::WithThousands(r.triangles),
+                TablePrinter::WithThousands(r.exec.valid_pairs),
+                TablePrinter::WithThousands(r.exec.row_slice_writes),
+                TablePrinter::WithThousands(r.exec.col_slice_writes),
+                TablePrinter::Percent(r.exec.cache.HitRate(), 1),
+                TablePrinter::Fixed(r.perf.serial_seconds, 4),
+                util::FormatJoules(r.perf.energy_joules)});
+    }
+    t.Print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Triangle counts are orientation-invariant; work is not: "
+               "the full-symmetric\nform pays ~6x the pairs (each "
+               "triangle found six times), and degree ordering\nbeats "
+               "natural order on heavy-tailed graphs.\n";
+  return 0;
+}

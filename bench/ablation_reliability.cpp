@@ -1,0 +1,62 @@
+// Ablation D — device reliability envelope of the computational AND.
+//
+// The dual-row AND senses a 5.3 uA margin (Table I device); this
+// sweeps sense-amp noise and read-pulse aggressiveness to locate where
+// in-memory TC stops being exact — and translates the per-bit error
+// rate into an expected triangle-count error for a representative run.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/accelerator.h"
+#include "device/reliability.h"
+#include "util/table.h"
+
+int main() {
+  using namespace tcim;
+  using util::TablePrinter;
+
+  bench::PrintHeader(
+      "Ablation D: AND-operation reliability envelope",
+      "Per-bit error of one dual-row AND vs sense noise, and the "
+      "expected count\nerror it induces on a com-dblp-scale run.");
+
+  const device::MtjDevice dev(device::PaperMtjParams());
+  const device::MtjElectrical& e = dev.Characterize();
+  std::cout << "  AND margin: "
+            << TablePrinter::Fixed(e.and_margin * 1e6, 2)
+            << " uA, read current "
+            << TablePrinter::Fixed(e.i_read_1 * 1e6, 2)
+            << " uA, Ic " << TablePrinter::Fixed(e.critical_current * 1e6, 2)
+            << " uA, Delta "
+            << TablePrinter::Fixed(e.thermal_stability, 1) << "\n\n";
+
+  const graph::DatasetInstance inst =
+      bench::LoadDataset(graph::PaperDataset::kComDblp);
+  const core::TcimAccelerator accel{core::TcimConfig{}};
+  const core::TcimResult run = accel.Run(inst.graph);
+
+  TablePrinter t({"SA noise sigma", "margin/sigma", "per-bit error",
+                  "expected count error", "exact?"});
+  for (const double sigma_ua : {0.25, 0.5, 1.0, 1.77, 2.65, 5.3}) {
+    const double sigma = sigma_ua * 1e-6;
+    const device::AndReliability r =
+        device::AndBitErrorRate(dev, sigma, 2e-9);
+    const double count_err = device::ExpectedCountError(
+        r.per_bit_error, run.exec.valid_pairs, 64);
+    t.AddRow({TablePrinter::Fixed(sigma_ua, 2) + " uA",
+              TablePrinter::Fixed(e.and_margin / sigma, 1),
+              TablePrinter::Scientific(r.per_bit_error, 2),
+              TablePrinter::Scientific(count_err, 2),
+              count_err < 0.5 ? "yes" : "NO"});
+  }
+  t.Print(std::cout);
+  std::cout << "\nRun context: " << run.exec.valid_pairs
+            << " AND ops on this instance ("
+            << TablePrinter::WithThousands(run.triangles)
+            << " triangles). With margin/sigma >= ~10 the run is exact; "
+               "around 5 sigma the expected\ncount error reaches O(1) "
+               "and an ECC/voting scheme becomes necessary — the\n"
+               "margin engineering behind Rref-AND in (R_P-P, R_P-AP) "
+               "is what buys exactness.\n";
+  return 0;
+}

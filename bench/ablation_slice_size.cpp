@@ -1,0 +1,50 @@
+// Ablation A — slice-size sweep (the paper fixes |S| = 64 in §IV-B;
+// this quantifies that choice).
+//
+// Small slices: fine-grained validity (fewer wasted AND bits) but more
+// index overhead and more commands. Large slices: fewer commands but
+// sparser slices waste AND width and the 4-byte index amortizes
+// better. The sweep shows the latency/energy bathtub around 64.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/accelerator.h"
+#include "core/bitwise_tc.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main() {
+  using namespace tcim;
+  using util::TablePrinter;
+
+  bench::PrintHeader(
+      "Ablation A: slice size |S| sweep",
+      "Paper default |S| = 64. One social and one road dataset.");
+
+  for (const auto id : {graph::PaperDataset::kComDblp,
+                        graph::PaperDataset::kRoadNetPa}) {
+    const graph::DatasetInstance inst = bench::LoadDataset(id);
+    bench::PrintProvenance(std::cout, inst);
+    TablePrinter t({"|S|", "AND ops", "Valid pair %", "WorkingSet",
+                    "Compressed", "TCIM serial s", "Energy"});
+    for (const std::uint32_t s : {8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+      core::TcimConfig config;
+      config.slice_bits = s;
+      const core::TcimAccelerator accel{config};
+      const core::TcimResult r = accel.Run(inst.graph);
+      const bit::SliceStats& st = r.slices;
+      t.AddRow({std::to_string(s),
+                TablePrinter::WithThousands(r.exec.valid_pairs),
+                TablePrinter::Fixed(st.ValidPairFraction() * 100.0, 3),
+                util::FormatBytes(
+                    static_cast<double>(st.WorkingSetBytes())),
+                util::FormatBytes(
+                    static_cast<double>(st.CompressedBytes())),
+                TablePrinter::Fixed(r.perf.serial_seconds, 4),
+                util::FormatJoules(r.perf.energy_joules)});
+    }
+    t.Print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Shared plumbing for the table/figure bench binaries.
+//
+// Every bench prints: the experiment banner, the workload provenance
+// (synthetic generator or real SNAP file, scale, seed), then the table
+// itself with clearly-marked [paper] reference columns next to our
+// measured columns. Synthesized graphs are cached on disk (binary
+// format) so the nine datasets are generated once across the whole
+// bench suite.
+//
+// Knobs: TCIM_SCALE (default 0.25, applied to the seven large
+// datasets; =1 reproduces full Table II sizes), TCIM_SEED,
+// TCIM_DATA_DIR (drop real SNAP edge lists to replace the stand-ins).
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "graph/datasets.h"
+#include "graph/io.h"
+#include "util/env.h"
+#include "util/table.h"
+
+namespace tcim::bench {
+
+inline double DatasetScale(graph::PaperDataset id) {
+  const auto& ref = graph::GetPaperRef(id);
+  // The two small graphs always run full-size; scale shapes the rest.
+  if (ref.vertices < 100000) return 1.0;
+  return util::WorkloadScale(0.25);
+}
+
+inline std::string CacheDir() {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = (tmp != nullptr && *tmp) ? tmp : "/tmp";
+  dir += "/tcim_bench_cache";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Loads (or synthesizes-and-caches) one paper dataset.
+inline graph::DatasetInstance LoadDataset(graph::PaperDataset id) {
+  const double scale = DatasetScale(id);
+  const std::uint64_t seed = util::BaseSeed();
+  const auto& ref = graph::GetPaperRef(id);
+
+  // Real file takes precedence (never cached — trust the source).
+  if (const char* dir = std::getenv("TCIM_DATA_DIR");
+      dir != nullptr && *dir != '\0') {
+    return graph::LoadOrSynthesize(id, scale, seed);
+  }
+
+  char cache_name[256];
+  std::snprintf(cache_name, sizeof cache_name, "%s/%s_s%.4f_r%llu.bin",
+                CacheDir().c_str(), ref.name, scale,
+                static_cast<unsigned long long>(seed));
+  if (std::filesystem::exists(cache_name)) {
+    graph::DatasetInstance inst;
+    inst.id = id;
+    inst.graph = graph::ReadBinaryFile(cache_name);
+    inst.is_real = false;
+    inst.scale = scale;
+    inst.source = std::string("cache:") + cache_name;
+    return inst;
+  }
+  graph::DatasetInstance inst = graph::SynthesizePaperGraph(id, scale, seed);
+  graph::WriteBinaryFile(inst.graph, cache_name);
+  return inst;
+}
+
+inline void PrintProvenance(std::ostream& os,
+                            const graph::DatasetInstance& inst) {
+  const auto& ref = graph::GetPaperRef(inst.id);
+  os << "  " << ref.name << ": " << inst.graph.num_vertices() << " V, "
+     << inst.graph.num_edges() << " E"
+     << (inst.is_real ? " [real SNAP file: " : " [synthetic: ")
+     << inst.source << ", scale " << inst.scale << "]\n";
+}
+
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& what) {
+  util::PrintBanner(std::cout, experiment);
+  std::cout << what << "\n"
+            << "  seed " << util::BaseSeed() << ", TCIM_SCALE "
+            << util::WorkloadScale(0.25)
+            << " (large datasets; =1 reproduces full Table II sizes)\n"
+            << "  columns marked [paper] reproduce the paper's reported "
+               "numbers for reference\n\n";
+}
+
+/// "N/A" for the paper's missing cells.
+inline std::string PaperCell(double v, int precision = 3) {
+  return v < 0 ? "N/A" : util::TablePrinter::Fixed(v, precision);
+}
+
+}  // namespace tcim::bench

@@ -1,0 +1,83 @@
+// Extension — k-truss decomposition on the TCIM kernel.
+//
+// The paper's GPU/FPGA comparators ([2][3], HPEC'18) are joint
+// "triangle counting and truss decomposition" systems, and the paper's
+// conclusion positions the slicing/mapping machinery as
+// problem-agnostic. This bench demonstrates that: per-edge triangle
+// supports come out of the identical in-memory AND+BitCount dataflow
+// (one accumulated BitCount per edge instead of a global total), and
+// the host peels trussness from them.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/edge_support.h"
+#include "core/truss.h"
+#include "util/table.h"
+#include "util/timer.h"
+#include "util/units.h"
+
+int main() {
+  using namespace tcim;
+  using util::TablePrinter;
+
+  bench::PrintHeader(
+      "Extension: k-truss decomposition via the TCIM support kernel",
+      "Support phase in-memory (symmetric matrix, per-edge BitCount), "
+      "peeling on host.");
+
+  for (const auto id : {graph::PaperDataset::kEgoFacebook,
+                        graph::PaperDataset::kComDblp,
+                        graph::PaperDataset::kRoadNetPa}) {
+    const graph::DatasetInstance inst = bench::LoadDataset(id);
+    bench::PrintProvenance(std::cout, inst);
+
+    // CPU support phase.
+    util::Timer timer;
+    const core::EdgeSupports cpu_supports =
+        core::ComputeEdgeSupportsCpu(inst.graph);
+    const double cpu_support_s = timer.ElapsedSeconds();
+
+    // TCIM support phase (modeled latency/energy).
+    const core::TcimAccelerator accel{core::TcimConfig{}};
+    core::TcimResult run;
+    const core::EdgeSupports pim_supports =
+        core::ComputeEdgeSupportsTcim(inst.graph, accel, &run);
+    if (pim_supports.support != cpu_supports.support) {
+      std::cerr << "SUPPORT MISMATCH\n";
+      return 1;
+    }
+
+    // Peeling (host side either way).
+    timer.Restart();
+    const core::TrussResult truss =
+        core::DecomposeTruss(inst.graph, pim_supports.support);
+    const double peel_s = timer.ElapsedSeconds();
+
+    TablePrinter t({"Quantity", "Value"});
+    t.AddRow({"edges", TablePrinter::WithThousands(inst.graph.num_edges())});
+    t.AddRow({"triangles (from supports)",
+              TablePrinter::WithThousands(pim_supports.TriangleCount())});
+    t.AddRow({"max truss k",
+              std::to_string(truss.max_truss)});
+    t.AddRow({"edges in max-k truss", TablePrinter::WithThousands(
+                                          truss.KTrussEdgeCount(
+                                              truss.max_truss))});
+    t.AddRow({"edges with k >= 4",
+              TablePrinter::WithThousands(truss.KTrussEdgeCount(4))});
+    t.AddRow({"support phase, CPU", util::FormatSeconds(cpu_support_s)});
+    t.AddRow({"support phase, TCIM (modeled serial)",
+              util::FormatSeconds(run.perf.serial_seconds)});
+    t.AddRow({"support phase, TCIM energy",
+              util::FormatJoules(run.perf.energy_joules)});
+    t.AddRow({"AND ops (symmetric matrix)",
+              TablePrinter::WithThousands(run.exec.valid_pairs)});
+    t.AddRow({"peeling (host)", util::FormatSeconds(peel_s)});
+    t.Print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Truss reuses the TC dataflow verbatim: the symmetric "
+               "matrix costs ~6x the\noriented form's ANDs (every "
+               "triangle counted per edge per direction), which is\n"
+               "the price of per-edge results.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig. 5 — percentages of data hit / miss / exchange under the 16 MB
+// computational array with LRU replacement.
+//
+// Taxonomy (paper §V-B): a column-slice lookup is a *hit* when the
+// slice is already resident ("the first time a data slice is loaded,
+// it is always a miss"); a miss that evicts a resident slice is an
+// *exchange*. Hit rate = WRITE operations saved by data reuse.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/accelerator.h"
+#include "util/table.h"
+
+int main() {
+  using namespace tcim;
+  using util::TablePrinter;
+
+  bench::PrintHeader(
+      "Fig. 5: Percentages of data hit/miss/exchange",
+      "16 MB STT-MRAM computational array, LRU column replacement, "
+      "|S| = 64.\nHit rate == fraction of column WRITEs avoided (paper "
+      "average: 72%).");
+
+  TablePrinter t({"Dataset", "Hit %", "Cold miss %", "Exchange %",
+                  "Col writes", "Saved writes"});
+  double hit_sum = 0.0;
+  int rows = 0;
+  for (const graph::PaperRef& ref : graph::AllPaperRefs()) {
+    const graph::DatasetInstance inst = bench::LoadDataset(ref.id);
+    core::TcimConfig config;  // paper default: 16 MB, LRU
+    const core::TcimAccelerator accel{config};
+    const core::TcimResult r = accel.Run(inst.graph);
+    const arch::CacheStats& c = r.exec.cache;
+    hit_sum += c.HitRate();
+    ++rows;
+    t.AddRow({ref.name, TablePrinter::Percent(c.HitRate(), 1),
+              TablePrinter::Percent(c.ColdMissRate(), 1),
+              TablePrinter::Percent(c.ExchangeRate(), 2),
+              TablePrinter::WithThousands(r.exec.col_slice_writes),
+              TablePrinter::WithThousands(c.hits)});
+  }
+  t.Print(std::cout);
+  std::cout << "\nAverage hit rate (WRITE savings): "
+            << TablePrinter::Percent(hit_sum / rows, 1)
+            << "  (paper: 72% average, 28% miss)\n"
+               "Exchanges concentrate on the graphs whose working sets "
+               "press the 16 MB array\n(paper: the three largest). Our "
+               "mapping is physically set-associative (the\nmulti-row-"
+               "activation constraint pins a slice index to one set), "
+               "so hot slice\nindices can exchange before global "
+               "capacity is exhausted — see ablation_cache\nfor the "
+               "capacity/policy response.\n";
+  return 0;
+}

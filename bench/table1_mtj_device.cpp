@@ -1,0 +1,96 @@
+// Table I — MTJ device parameters, plus everything the
+// device-to-architecture flow derives from them (the inputs every
+// other experiment consumes): Brinkman resistances, LLG switching,
+// cell read/AND sense levels, and the NVSim-level 16 MB array costs.
+#include <iostream>
+
+#include "bench_common.h"
+#include "device/mtj_device.h"
+#include "nvsim/array_model.h"
+#include "util/table.h"
+#include "util/timer.h"
+#include "util/units.h"
+
+int main() {
+  using namespace tcim;
+  using util::TablePrinter;
+
+  util::PrintBanner(std::cout, "Table I: Key parameters for MTJ simulation");
+
+  const device::MtjParams params = device::PaperMtjParams();
+  {
+    TablePrinter t({"Parameter", "Value"});
+    t.AddRow({"MTJ Surface Length", "40 nm"});
+    t.AddRow({"MTJ Surface Width", "40 nm"});
+    t.AddRow({"Spin Hall Angle", TablePrinter::Fixed(params.spin_hall_angle, 1)});
+    t.AddRow({"Resistance-Area Product of MTJ", "1e-12 Ohm*m^2"});
+    t.AddRow({"Oxide Barrier Thickness", "0.82 nm"});
+    t.AddRow({"TMR", "100%"});
+    t.AddRow({"Saturation Field", "1e6 A/m"});
+    t.AddRow({"Gilbert Damping Constant",
+              TablePrinter::Fixed(params.gilbert_damping, 2)});
+    t.AddRow({"Perpendicular Magnetic Anisotropy", "4.5e5 A/m"});
+    t.AddRow({"Temperature", "300 K"});
+    t.Print(std::cout);
+  }
+
+  const device::MtjDevice dev(params);
+  const device::MtjElectrical& e = dev.Characterize();
+
+  std::cout << "\nDerived device characterization (Brinkman + LLG):\n\n";
+  {
+    TablePrinter t({"Quantity", "Value"});
+    t.AddRow({"R_P @ V_read", util::FormatOhms(e.r_p)});
+    t.AddRow({"R_AP @ V_read", util::FormatOhms(e.r_ap)});
+    t.AddRow({"READ current ('1'/'0')", util::FormatAmps(e.i_read_1) + " / " +
+                                            util::FormatAmps(e.i_read_0)});
+    t.AddRow({"READ sense margin", util::FormatAmps(e.read_margin)});
+    t.AddRow({"AND levels (11/10/00)",
+              util::FormatAmps(e.i_and_11) + " / " +
+                  util::FormatAmps(e.i_and_10) + " / " +
+                  util::FormatAmps(e.i_and_00)});
+    t.AddRow({"AND sense margin", util::FormatAmps(e.and_margin)});
+    t.AddRow({"Critical current Ic0", util::FormatAmps(e.critical_current)});
+    t.AddRow({"Write current", util::FormatAmps(e.write_current)});
+    t.AddRow({"LLG switching time",
+              util::FormatSeconds(e.switching_time)});
+    t.AddRow({"Write energy / bit", util::FormatJoules(e.write_energy_bit)});
+    t.AddRow({"Thermal stability Delta",
+              TablePrinter::Fixed(e.thermal_stability, 1)});
+    t.Print(std::cout);
+  }
+
+  std::cout << "\nNVSim-level 16 MB computational array (per 64-bit slice "
+               "op):\n\n";
+  const nvsim::ArrayModel model(nvsim::Default45nm(), nvsim::ArrayConfig{},
+                                dev);
+  {
+    const nvsim::ArrayPerf& p = model.perf();
+    TablePrinter t({"Op", "Latency", "Energy"});
+    t.AddRow({"READ", util::FormatSeconds(p.read_slice.latency),
+              util::FormatJoules(p.read_slice.energy)});
+    t.AddRow({"AND (dual-row)", util::FormatSeconds(p.and_slice.latency),
+              util::FormatJoules(p.and_slice.energy)});
+    t.AddRow({"WRITE", util::FormatSeconds(p.write_slice.latency),
+              util::FormatJoules(p.write_slice.energy)});
+    t.Print(std::cout);
+    std::cout << "\n  chip: " << p.subarrays << " subarrays, "
+              << TablePrinter::Fixed(p.area_mm2, 1) << " mm^2, leakage "
+              << TablePrinter::Fixed(p.leakage_w * 1e3, 1) << " mW\n";
+  }
+
+  std::cout << "\nLLG switching-time vs overdrive (RK4 transient):\n\n";
+  {
+    TablePrinter t({"I / Ic0", "Switching time"});
+    const device::LlgSolver& llg = dev.llg();
+    for (const double mult : {1.2, 1.5, 2.0, 3.0, 5.0, 8.0}) {
+      const device::LlgResult r =
+          llg.SimulateSwitching(mult * llg.CriticalCurrent());
+      t.AddRow({TablePrinter::Fixed(mult, 1),
+                r.switched ? util::FormatSeconds(r.switching_time)
+                           : "no switch"});
+    }
+    t.Print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Device-to-architecture exploration — the co-simulation flow of
+// paper §V-A as a design-space tool.
+//
+// Sweeps MTJ device knobs (damping, cell size, write voltage) through
+// the Brinkman+LLG models and shows how each lands on array-level
+// write latency/energy — the numbers that dominate TCIM's energy
+// budget.
+#include <iostream>
+
+#include "device/mtj_device.h"
+#include "nvsim/array_model.h"
+#include "util/table.h"
+#include "util/timer.h"
+#include "util/units.h"
+
+namespace {
+
+void Row(tcim::util::TablePrinter& t, const std::string& label,
+         const tcim::device::MtjParams& params) {
+  using namespace tcim;
+  const device::MtjDevice dev(params);
+  const device::MtjElectrical& e = dev.Characterize();
+  if (e.switching_time <= 0) {
+    t.AddRow({label, util::FormatAmps(e.critical_current), "no switch",
+              "-", "-", "-"});
+    return;
+  }
+  const nvsim::ArrayModel model(nvsim::Default45nm(), nvsim::ArrayConfig{},
+                                dev);
+  t.AddRow({label, util::FormatAmps(e.critical_current),
+            util::FormatSeconds(e.switching_time),
+            util::FormatJoules(e.write_energy_bit),
+            util::FormatSeconds(model.perf().write_slice.latency),
+            util::FormatJoules(model.perf().write_slice.energy)});
+}
+
+}  // namespace
+
+int main() {
+  using namespace tcim;
+  using util::TablePrinter;
+
+  std::cout << "Device-to-architecture design exploration (paper "
+               "Table I device as the anchor)\n\n";
+
+  {
+    std::cout << "Gilbert damping (thermal stability is unaffected; "
+                 "write cost is not):\n\n";
+    TablePrinter t({"alpha", "Ic0", "t_switch", "E/bit", "slice write",
+                    "slice E"});
+    for (const double alpha : {0.01, 0.02, 0.03, 0.05, 0.08}) {
+      device::MtjParams p = device::PaperMtjParams();
+      p.gilbert_damping = alpha;
+      Row(t, TablePrinter::Fixed(alpha, 2), p);
+    }
+    t.Print(std::cout);
+  }
+
+  {
+    std::cout << "\nCell size (Table I: 40 nm; scaling trades Ic "
+                 "against retention):\n\n";
+    TablePrinter t({"size", "Ic0", "t_switch", "E/bit", "slice write",
+                    "slice E"});
+    for (const double nm : {20.0, 30.0, 40.0, 60.0, 80.0}) {
+      device::MtjParams p = device::PaperMtjParams();
+      p.surface_length = nm * 1e-9;
+      p.surface_width = nm * 1e-9;
+      Row(t, TablePrinter::Fixed(nm, 0) + " nm", p);
+    }
+    t.Print(std::cout);
+  }
+
+  {
+    std::cout << "\nWrite voltage (overdrive shortens the LLG "
+                 "transient; energy is V*I*t):\n\n";
+    TablePrinter t({"V_write", "Ic0", "t_switch", "E/bit", "slice write",
+                    "slice E"});
+    for (const double v : {0.3, 0.45, 0.6, 0.8, 1.0}) {
+      device::MtjParams p = device::PaperMtjParams();
+      p.write_voltage = v;
+      Row(t, TablePrinter::Fixed(v, 2) + " V", p);
+    }
+    t.Print(std::cout);
+  }
+
+  {
+    std::cout << "\nThermal stability across temperature (retention "
+                 "margin Delta = E_b/kT):\n\n";
+    TablePrinter t({"T", "Delta"});
+    for (const double temp : {250.0, 300.0, 350.0, 400.0}) {
+      device::MtjParams p = device::PaperMtjParams();
+      p.temperature = temp;
+      const device::LlgSolver llg(p);
+      t.AddRow({TablePrinter::Fixed(temp, 0) + " K",
+                TablePrinter::Fixed(llg.ThermalStability(), 1)});
+    }
+    t.Print(std::cout);
+  }
+  return 0;
+}

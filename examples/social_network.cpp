@@ -1,0 +1,87 @@
+// Social-network analysis — the paper's motivating application:
+// triangle counting as "the first fundamental step in calculating
+// metrics such as clustering coefficient and transitivity ratio".
+//
+// Synthesizes an ego-network-style graph (dense overlapping
+// communities), runs TCIM, and derives the metrics; then compares the
+// accelerator's behaviour against a hub-dominated graph of the same
+// size to show how structure drives reuse.
+#include <iostream>
+
+#include "baseline/cpu_tc.h"
+#include "core/accelerator.h"
+#include "graph/generators.h"
+#include "graph/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+#include "util/units.h"
+
+namespace {
+
+void Analyze(const char* name, const tcim::graph::Graph& g,
+             const tcim::core::TcimAccelerator& accel) {
+  using namespace tcim;
+  using util::TablePrinter;
+
+  util::Timer timer;
+  const core::TcimResult r = accel.Run(g);
+  const double sim_wall = timer.ElapsedSeconds();
+  const std::uint64_t wedges = graph::WedgeCount(g);
+  const double transitivity = graph::Transitivity(g, r.triangles);
+  const double local_cc = graph::AverageLocalClustering(g, 2000, 7);
+
+  std::cout << "== " << name << " ==\n";
+  TablePrinter t({"Metric", "Value"});
+  t.AddRow({"vertices", TablePrinter::WithThousands(g.num_vertices())});
+  t.AddRow({"edges", TablePrinter::WithThousands(g.num_edges())});
+  t.AddRow({"triangles (TCIM)", TablePrinter::WithThousands(r.triangles)});
+  t.AddRow({"wedges", TablePrinter::WithThousands(wedges)});
+  t.AddRow({"transitivity 3T/W", TablePrinter::Fixed(transitivity, 4)});
+  t.AddRow({"avg local clustering", TablePrinter::Fixed(local_cc, 4)});
+  t.AddRow({"AND ops", TablePrinter::WithThousands(r.exec.valid_pairs)});
+  t.AddRow({"cache hit rate",
+            TablePrinter::Percent(r.exec.cache.HitRate(), 1)});
+  t.AddRow({"modeled TCIM latency",
+            util::FormatSeconds(r.perf.serial_seconds)});
+  t.AddRow({"modeled chip energy",
+            util::FormatJoules(r.perf.energy_joules)});
+  t.AddRow({"host simulation wall-clock", util::FormatSeconds(sim_wall)});
+  t.Print(std::cout);
+
+  // Sanity: the accelerator agrees with the CPU algorithm.
+  const std::uint64_t expected = baseline::CountTrianglesReference(g);
+  if (expected != r.triangles) {
+    std::cerr << "MISMATCH: CPU says " << expected << "\n";
+    std::exit(1);
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  using namespace tcim;
+
+  const core::TcimAccelerator accel{core::TcimConfig{}};
+
+  // An ego-network: overlapping friend circles, extreme triangle
+  // density — clustering metrics are high, and column reuse is strong
+  // because circles share slice indices.
+  graph::CommunityParams community;
+  community.community_size = 50;
+  const graph::Graph ego =
+      graph::CommunityCliques(20000, 400000, community, /*seed=*/1);
+  Analyze("ego-style social network (overlapping communities)", ego, accel);
+
+  // A broadcast/hub network of the same size: triangles are rare, the
+  // degree tail is heavy, and reuse drops.
+  const graph::Graph hubs =
+      graph::Rmat(20000, 400000, graph::RmatParams{}, /*seed=*/1);
+  Analyze("hub-dominated network (R-MAT)", hubs, accel);
+
+  std::cout << "Same scale, very different structure: the community "
+               "graph is an order of\nmagnitude more triangle-dense "
+               "and reuses columns far better — exactly the\nsparsity "
+               "structure TCIM's slicing exploits.\n";
+  return 0;
+}

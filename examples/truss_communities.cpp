@@ -1,0 +1,69 @@
+// Cohesive-subgraph mining with the k-truss extension — the
+// "community discovery" application the paper's introduction motivates
+// TC with.
+//
+// Builds a planted-community graph, computes per-edge triangle
+// supports through the in-memory AND+BitCount kernel, peels the truss
+// hierarchy, and shows how trussness separates the planted dense
+// communities from the random background.
+#include <iostream>
+
+#include "baseline/cpu_tc.h"
+#include "core/edge_support.h"
+#include "core/truss.h"
+#include "graph/generators.h"
+#include "util/table.h"
+#include "util/timer.h"
+#include "util/units.h"
+
+int main() {
+  using namespace tcim;
+  using util::TablePrinter;
+
+  // Dense 40-vertex circles over a sparse random background.
+  graph::CommunityParams params;
+  params.community_size = 40;
+  params.inter_fraction = 0.25;  // heavy background noise
+  const graph::Graph g =
+      graph::CommunityCliques(8000, 120000, params, /*seed=*/5);
+  std::cout << "Planted-community graph: " << g.num_vertices()
+            << " vertices, " << g.num_edges() << " edges ("
+            << TablePrinter::Fixed(params.inter_fraction * 100, 0)
+            << "% background edges)\n\n";
+
+  // Support phase on the accelerator, peeling on the host.
+  const core::TcimAccelerator accel{core::TcimConfig{}};
+  core::TcimResult run;
+  const core::EdgeSupports supports =
+      core::ComputeEdgeSupportsTcim(g, accel, &run);
+  const core::TrussResult truss =
+      core::DecomposeTruss(g, supports.support);
+
+  std::cout << "Support phase: " << run.exec.valid_pairs
+            << " in-memory ANDs, modeled "
+            << util::FormatSeconds(run.perf.serial_seconds) << " / "
+            << util::FormatJoules(run.perf.energy_joules) << "\n"
+            << "Triangles: " << supports.TriangleCount()
+            << ", max truss k = " << truss.max_truss << "\n\n";
+
+  TablePrinter t({"k", "edges with trussness k", "cumulative k-truss"});
+  const auto hist = truss.Histogram();
+  for (std::uint32_t k = 2; k <= truss.max_truss; ++k) {
+    t.AddRow({std::to_string(k), TablePrinter::WithThousands(hist[k]),
+              TablePrinter::WithThousands(truss.KTrussEdgeCount(k))});
+  }
+  t.Print(std::cout);
+
+  // The background edges close almost no triangles -> trussness 2-3;
+  // the planted circles survive deep into the hierarchy.
+  const std::uint64_t background = hist[2] + (truss.max_truss >= 3
+                                                  ? hist[3]
+                                                  : 0);
+  std::cout << "\nEdges at trussness <= 3 (background + weak ties): "
+            << background << "\nEdges at trussness >= 5 (inside planted "
+            << "communities): " << truss.KTrussEdgeCount(5)
+            << "\nTrussness cleanly separates cohesive circles from "
+               "noise — computed with the\nsame in-memory kernel TCIM "
+               "uses for counting.\n";
+  return 0;
+}

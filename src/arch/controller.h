@@ -1,0 +1,117 @@
+// The PIM controller: executes Algorithm 1 ("TCIM: Triangle Counting
+// with Processing-In-MRAM Architecture") against the functional
+// computational array.
+//
+// Per the paper's dataflow (Fig. 4): the compressed graph (valid slice
+// index + slice data) streams from the data buffer; for each non-zero
+// A[i][j] the valid slice pairs (RiSk, CjSk) are enumerated; the row
+// slice is staged into the set's staging row (once per (row, k) — the
+// data-reuse "rows are overwritten" rule), the column slice is looked
+// up in the set's cache ways (hit = reuse, miss = WRITE, full = LRU
+// exchange), and a dual-row-activation AND feeds the bit counter.
+//
+// The run is *functionally verified*: the accumulated bit-counter
+// total is the Eq. (5) sum computed entirely through simulated array
+// operations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/mapper.h"
+#include "arch/slice_cache.h"
+#include "bitmatrix/sliced_matrix.h"
+#include "pim/computational_array.h"
+
+namespace tcim::arch {
+
+/// Capacity accounting mode for the column cache (DESIGN.md §5).
+enum class CapacityModel : std::uint8_t {
+  /// Every array row segment holds one slice: ways = rows - 1.
+  kDataOnly,
+  /// Paper's space formula NVS*(|S|/8+4): the 4-byte valid-slice index
+  /// is charged against array capacity, shrinking the usable ways by
+  /// the factor (|S|/8) / (|S|/8 + 4). With |S|=64 this makes a 16 MB
+  /// array hold ~1.4M slices — the accounting under which Table III's
+  /// 16.8 MB graphs "will have to do data exchange" in a 16 MB array.
+  kWithIndexOverhead,
+};
+
+/// Everything one execution produces (Fig. 5 / Table V inputs).
+struct ExecStats {
+  std::uint64_t edges_processed = 0;
+  std::uint64_t valid_pairs = 0;       ///< = AND operations issued
+  std::uint64_t row_slice_writes = 0;  ///< staging writes (per (i, set))
+  std::uint64_t spread = 1;            ///< column spread used (mapper.h)
+  std::uint64_t col_slice_writes = 0;  ///< cache fills (= cache misses)
+  std::uint64_t bitcount_words = 0;
+  CacheStats cache;
+  /// Raw Eq. (5) accumulator (NOT divided by the orientation
+  /// multiplier; core::TcimAccelerator owns that interpretation).
+  std::uint64_t accumulated_bitcount = 0;
+
+  /// Per-subarray AND / WRITE counts — the inputs of the
+  /// critical-path ("parallel") latency model in core::PerfModel.
+  std::vector<std::uint64_t> per_subarray_ands;
+  std::vector<std::uint64_t> per_subarray_writes;
+
+  /// Fraction of column loads avoided by reuse — the paper's "saves on
+  /// average 72% memory WRITE operations" metric.
+  [[nodiscard]] double WriteSavings() const noexcept {
+    return cache.HitRate();
+  }
+  /// Total slice writes into the array.
+  [[nodiscard]] std::uint64_t TotalWrites() const noexcept {
+    return row_slice_writes + col_slice_writes;
+  }
+};
+
+/// Controller configuration.
+struct ControllerConfig {
+  ReplacementPolicy policy = ReplacementPolicy::kLru;
+  CapacityModel capacity_model = CapacityModel::kWithIndexOverhead;
+  std::uint64_t rng_seed = 1;  ///< for the random replacement ablation
+  /// Column-spread override: 0 = auto (fill the array, mapper.h), 1 =
+  /// the paper's minimal one-set-per-slice-index mapping, n = fixed.
+  std::uint64_t spread_override = 0;
+};
+
+/// Receives the per-edge BitCount results during a Controller run.
+/// Used by the k-truss extension, where the AND+BitCount of one edge
+/// (i, j) *is* that edge's triangle support.
+class EdgeCountSink {
+ public:
+  virtual ~EdgeCountSink() = default;
+  /// Called once per non-zero A[i][j] with the accumulated BitCount of
+  /// all its valid slice pairs (0 when the edge closes no triangle).
+  virtual void OnEdge(std::uint32_t i, std::uint32_t j,
+                      std::uint64_t bitcount) = 0;
+};
+
+class Controller {
+ public:
+  /// The array defines the geometry; the controller builds its mapper
+  /// and cache bookkeeping around it.
+  Controller(pim::ComputationalArray& array, const ControllerConfig& config);
+
+  /// Runs Algorithm 1 over the whole compressed matrix and returns the
+  /// statistics. The array's accumulated bit-counter total equals
+  /// stats.accumulated_bitcount afterwards. If `sink` is non-null it
+  /// receives every edge's individual BitCount.
+  [[nodiscard]] ExecStats Run(const bit::SlicedMatrix& matrix,
+                              EdgeCountSink* sink = nullptr);
+
+  [[nodiscard]] const SliceMapper& mapper() const noexcept { return mapper_; }
+  [[nodiscard]] const SliceCache& cache() const noexcept { return cache_; }
+
+ private:
+  static std::uint32_t EffectiveWays(const nvsim::ArrayConfig& config,
+                                     const ControllerConfig& controller);
+
+  pim::ComputationalArray& array_;
+  ControllerConfig config_;
+  SliceMapper mapper_;
+  SliceCache cache_;
+};
+
+}  // namespace tcim::arch

@@ -1,0 +1,113 @@
+#include "arch/slice_cache.h"
+
+#include <stdexcept>
+
+namespace tcim::arch {
+
+std::string ToString(ReplacementPolicy policy) {
+  switch (policy) {
+    case ReplacementPolicy::kLru:
+      return "LRU";
+    case ReplacementPolicy::kFifo:
+      return "FIFO";
+    case ReplacementPolicy::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+SliceCache::SliceCache(std::uint64_t num_sets, std::uint32_t associativity,
+                       ReplacementPolicy policy, std::uint64_t seed)
+    : associativity_(associativity), policy_(policy), rng_(seed) {
+  if (num_sets == 0 || associativity == 0) {
+    throw std::invalid_argument(
+        "SliceCache: need at least one set and one way");
+  }
+  sets_.resize(num_sets);
+  for (Set& s : sets_) {
+    s.ways.resize(associativity_);
+  }
+}
+
+std::uint32_t SliceCache::PickVictim(const Set& set) {
+  switch (policy_) {
+    case ReplacementPolicy::kLru: {
+      std::uint32_t victim = 0;
+      for (std::uint32_t w = 1; w < associativity_; ++w) {
+        if (set.ways[w].last_use < set.ways[victim].last_use) victim = w;
+      }
+      return victim;
+    }
+    case ReplacementPolicy::kFifo: {
+      std::uint32_t victim = 0;
+      for (std::uint32_t w = 1; w < associativity_; ++w) {
+        if (set.ways[w].inserted < set.ways[victim].inserted) victim = w;
+      }
+      return victim;
+    }
+    case ReplacementPolicy::kRandom:
+      return static_cast<std::uint32_t>(rng_.UniformBelow(associativity_));
+  }
+  return 0;
+}
+
+AccessResult SliceCache::Access(std::uint64_t set_id, std::uint64_t tag) {
+  if (set_id >= sets_.size()) {
+    throw std::out_of_range("SliceCache::Access: set out of range");
+  }
+  Set& set = sets_[set_id];
+  ++stats_.lookups;
+  ++clock_;
+
+  for (std::uint32_t w = 0; w < associativity_; ++w) {
+    Way& way = set.ways[w];
+    if (way.valid && way.tag == tag) {
+      way.last_use = clock_;
+      ++stats_.hits;
+      return {.hit = true, .way = w, .evicted = false, .evicted_tag = 0};
+    }
+  }
+
+  ++stats_.misses;
+  ++stats_.inserts;
+  // Prefer an invalid way (cold fill).
+  for (std::uint32_t w = 0; w < associativity_; ++w) {
+    Way& way = set.ways[w];
+    if (!way.valid) {
+      way = Way{.tag = tag, .valid = true, .last_use = clock_,
+                .inserted = clock_};
+      return {.hit = false, .way = w, .evicted = false, .evicted_tag = 0};
+    }
+  }
+  // Full set: evict per policy (the paper's "data exchange").
+  const std::uint32_t victim = PickVictim(set);
+  const std::uint64_t old_tag = set.ways[victim].tag;
+  set.ways[victim] = Way{.tag = tag, .valid = true, .last_use = clock_,
+                         .inserted = clock_};
+  ++stats_.exchanges;
+  return {.hit = false, .way = victim, .evicted = true,
+          .evicted_tag = old_tag};
+}
+
+bool SliceCache::Contains(std::uint64_t set_id, std::uint64_t tag) const {
+  if (set_id >= sets_.size()) {
+    throw std::out_of_range("SliceCache::Contains: set out of range");
+  }
+  for (const Way& way : sets_[set_id].ways) {
+    if (way.valid && way.tag == tag) return true;
+  }
+  return false;
+}
+
+std::uint32_t SliceCache::Occupancy(std::uint64_t set_id) const {
+  if (set_id >= sets_.size()) {
+    throw std::out_of_range("SliceCache::Occupancy: set out of range");
+  }
+  std::uint32_t n = 0;
+  for (const Way& way : sets_[set_id].ways) {
+    if (way.valid) ++n;
+  }
+  return n;
+}
+
+}  // namespace tcim::arch

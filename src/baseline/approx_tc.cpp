@@ -1,0 +1,79 @@
+#include "baseline/approx_tc.h"
+
+#include <stdexcept>
+
+#include "baseline/cpu_tc.h"
+#include "graph/stats.h"
+#include "util/rng.h"
+
+namespace tcim::baseline {
+
+ApproxResult DoulionEstimate(const graph::Graph& g, double p,
+                             std::uint64_t seed) {
+  if (p <= 0.0 || p > 1.0) {
+    throw std::invalid_argument("DoulionEstimate: p must be in (0,1]");
+  }
+  util::Xoshiro256 rng(seed);
+  graph::GraphBuilder builder(g.num_vertices());
+  builder.ReserveEdges(
+      static_cast<std::uint64_t>(static_cast<double>(g.num_edges()) * p));
+  g.ForEachEdge([&](graph::VertexId u, graph::VertexId v) {
+    if (rng.Bernoulli(p)) builder.AddEdge(u, v);
+  });
+  const graph::Graph sparse = std::move(builder).Build();
+  const std::uint64_t sparse_triangles = CountTrianglesReference(sparse);
+
+  ApproxResult result;
+  result.sampled_units = sparse.num_edges();
+  result.estimate = static_cast<double>(sparse_triangles) / (p * p * p);
+  return result;
+}
+
+ApproxResult WedgeSamplingEstimate(const graph::Graph& g,
+                                   std::uint64_t samples,
+                                   std::uint64_t seed) {
+  if (samples == 0) {
+    throw std::invalid_argument("WedgeSamplingEstimate: need samples > 0");
+  }
+  const std::uint64_t total_wedges = graph::WedgeCount(g);
+  ApproxResult result;
+  result.sampled_units = samples;
+  if (total_wedges == 0) return result;
+
+  // Sample a wedge uniformly: pick the center v with probability
+  // proportional to C(deg(v), 2) via a cumulative table, then two
+  // distinct neighbors uniformly.
+  std::vector<std::uint64_t> cumulative(g.num_vertices() + 1, 0);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::uint64_t d = g.Degree(v);
+    cumulative[v + 1] = cumulative[v] + d * (d - 1) / 2;
+  }
+
+  util::Xoshiro256 rng(seed);
+  std::uint64_t closed = 0;
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    const std::uint64_t pick = rng.UniformBelow(total_wedges);
+    // Binary search the center vertex.
+    std::uint32_t lo = 0;
+    std::uint32_t hi = g.num_vertices();
+    while (lo + 1 < hi) {
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      if (cumulative[mid] <= pick) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    const auto nbrs = g.Neighbors(lo);
+    const std::uint64_t a = rng.UniformBelow(nbrs.size());
+    std::uint64_t b = rng.UniformBelow(nbrs.size() - 1);
+    if (b >= a) ++b;
+    if (g.HasEdge(nbrs[a], nbrs[b])) ++closed;
+  }
+  const double closure =
+      static_cast<double>(closed) / static_cast<double>(samples);
+  result.estimate = closure * static_cast<double>(total_wedges) / 3.0;
+  return result;
+}
+
+}  // namespace tcim::baseline

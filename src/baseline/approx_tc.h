@@ -1,0 +1,34 @@
+// Approximate triangle counting estimators (the paper's introduction
+// surveys TC methods "from ... exact to approximate"; these two are
+// the standard sampling baselines of that literature).
+//
+//  * DOULION (Tsourakakis et al., KDD'09): keep each edge with
+//    probability p, count exactly on the sparsified graph, scale by
+//    1/p^3. Unbiased; variance shrinks as p^3 * T grows.
+//  * Wedge sampling (Seshadhri et al., SDM'13): sample wedges
+//    (length-2 paths) uniformly, measure the closure probability,
+//    then T = closed_fraction * total_wedges / 3.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace tcim::baseline {
+
+struct ApproxResult {
+  double estimate = 0.0;
+  /// Work actually performed, for accuracy/cost trade-off reporting.
+  std::uint64_t sampled_units = 0;  // edges kept / wedges sampled
+};
+
+/// DOULION: sparsify-and-count. p in (0, 1].
+[[nodiscard]] ApproxResult DoulionEstimate(const graph::Graph& g, double p,
+                                           std::uint64_t seed);
+
+/// Wedge sampling with `samples` wedges.
+[[nodiscard]] ApproxResult WedgeSamplingEstimate(const graph::Graph& g,
+                                                 std::uint64_t samples,
+                                                 std::uint64_t seed);
+
+}  // namespace tcim::baseline

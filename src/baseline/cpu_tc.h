@@ -1,0 +1,53 @@
+// CPU triangle-counting baselines (paper §II-A).
+//
+// The paper classifies sequential TC into matrix-multiplication-based
+// and set-intersection-based algorithms; its measured CPU baseline is
+// an intersection-based implementation. This module provides five
+// independent implementations spanning both classes. They serve as
+// (1) the Table V "CPU" column, and (2) mutual cross-checks for every
+// property test in the repository — all five must agree with each
+// other and with the TCIM paths on every input.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace tcim::baseline {
+
+enum class TcAlgorithm : std::uint8_t {
+  /// For each v: pairs (u,w) in N(v)^2 with v<u<w and (u,w) an edge
+  /// (binary search). O(Σ d(v)^2 · log d).
+  kNodeIterator,
+  /// Degree-oriented DAG; per arc (u,v) merge-intersect out-lists.
+  /// The classic choice for sparse skewed graphs; Table V's CPU column.
+  kEdgeIteratorMerge,
+  /// Degree-oriented DAG; per vertex u mark out-neighbours in a dense
+  /// flag array, then probe out-lists of out-neighbours ("hashed"
+  /// intersection without hashing cost).
+  kEdgeIteratorMark,
+  /// Forward algorithm (Schank & Wagner): incremental lower-rank
+  /// adjacency sets intersected on the fly.
+  kForward,
+  /// trace(A^3)/6 over dense bit-matrix rows — the matrix-multiply
+  /// class of §II-A. Quadratic memory; only for n <= 4096.
+  kDenseTrace,
+};
+
+[[nodiscard]] std::string ToString(TcAlgorithm algo);
+
+/// Exact triangle count of an undirected simple graph.
+/// Throws std::invalid_argument if kDenseTrace is requested for a
+/// graph too large for the dense representation.
+[[nodiscard]] std::uint64_t CountTriangles(const graph::Graph& g,
+                                           TcAlgorithm algo);
+
+/// Default exact reference used across tests/benches (edge-iterator
+/// with merge intersection).
+[[nodiscard]] inline std::uint64_t CountTrianglesReference(
+    const graph::Graph& g) {
+  return CountTriangles(g, TcAlgorithm::kEdgeIteratorMerge);
+}
+
+}  // namespace tcim::baseline

@@ -1,0 +1,18 @@
+#include "baseline/reference_numbers.h"
+
+namespace tcim::baseline {
+
+double FpgaEnergyJoules(const graph::PaperRef& ref) {
+  return ref.fpga_s < 0 ? -1.0 : ref.fpga_s * kFpgaBoardPowerWatts;
+}
+
+double GpuEnergyJoules(const graph::PaperRef& ref) {
+  return ref.gpu_s < 0 ? -1.0 : ref.gpu_s * kGpuBoardPowerWatts;
+}
+
+double Speedup(double baseline_seconds, double ours_seconds) {
+  if (baseline_seconds < 0 || ours_seconds <= 0) return -1.0;
+  return baseline_seconds / ours_seconds;
+}
+
+}  // namespace tcim::baseline

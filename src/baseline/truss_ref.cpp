@@ -1,0 +1,76 @@
+#include "baseline/truss_ref.h"
+
+#include <algorithm>
+
+namespace tcim::baseline {
+
+std::vector<std::uint32_t> TrussDecompositionReference(
+    const graph::Graph& g) {
+  using graph::VertexId;
+  const std::uint64_t m = g.num_edges();
+
+  // Canonical edge list + per-edge endpoints.
+  std::vector<VertexId> eu;
+  std::vector<VertexId> ev;
+  eu.reserve(m);
+  ev.reserve(m);
+  g.ForEachEdge([&](VertexId u, VertexId v) {
+    eu.push_back(u);
+    ev.push_back(v);
+  });
+
+  // Alive-edge adjacency as sorted neighbor lists we can rebuild.
+  std::vector<bool> alive(m, true);
+  std::vector<std::uint32_t> trussness(m, 2);
+
+  const auto support_of = [&](std::uint64_t e,
+                              const std::vector<std::vector<VertexId>>& adj) {
+    const auto& nu = adj[eu[e]];
+    const auto& nv = adj[ev[e]];
+    std::uint32_t common = 0;
+    std::size_t a = 0;
+    std::size_t b = 0;
+    while (a < nu.size() && b < nv.size()) {
+      if (nu[a] < nv[b]) {
+        ++a;
+      } else if (nu[a] > nv[b]) {
+        ++b;
+      } else {
+        ++common;
+        ++a;
+        ++b;
+      }
+    }
+    return common;
+  };
+
+  std::uint64_t remaining = m;
+  for (std::uint32_t k = 3; remaining > 0; ++k) {
+    // Tighten to the k-truss: fixpoint deletion of low-support edges.
+    bool changed = true;
+    while (changed && remaining > 0) {
+      changed = false;
+      // Rebuild alive adjacency.
+      std::vector<std::vector<VertexId>> adj(g.num_vertices());
+      for (std::uint64_t e = 0; e < m; ++e) {
+        if (!alive[e]) continue;
+        adj[eu[e]].push_back(ev[e]);
+        adj[ev[e]].push_back(eu[e]);
+      }
+      for (auto& list : adj) std::sort(list.begin(), list.end());
+
+      for (std::uint64_t e = 0; e < m; ++e) {
+        if (!alive[e]) continue;
+        if (support_of(e, adj) < k - 2) {
+          alive[e] = false;
+          trussness[e] = k - 1;
+          --remaining;
+          changed = true;
+        }
+      }
+    }
+  }
+  return trussness;
+}
+
+}  // namespace tcim::baseline

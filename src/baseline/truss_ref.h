@@ -1,0 +1,23 @@
+// Naive reference k-truss decomposition (definition-driven, quadratic)
+// used solely to validate the bucket-peeling implementation in
+// core/truss.h on small graphs.
+//
+// For k = 3, 4, ...: repeatedly delete every remaining edge whose
+// support *within the remaining subgraph* is < k-2 until a fixpoint;
+// edges deleted while tightening to the (k)-truss have trussness k-1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tcim::baseline {
+
+/// trussness per canonical edge (Graph::ForEachEdge order).
+/// Intended for graphs up to ~10^4 edges (it recomputes supports from
+/// scratch on every peel round).
+[[nodiscard]] std::vector<std::uint32_t> TrussDecompositionReference(
+    const graph::Graph& g);
+
+}  // namespace tcim::baseline

@@ -1,0 +1,87 @@
+#include "bitmatrix/bitvector.h"
+
+#include <stdexcept>
+
+namespace tcim::bit {
+
+BitVector::BitVector(std::uint64_t size)
+    : size_(size), words_((size + 63) / 64, 0) {}
+
+bool BitVector::Get(std::uint64_t pos) const {
+  if (pos >= size_) {
+    throw std::out_of_range("BitVector::Get: position out of range");
+  }
+  return (words_[pos / 64] >> (pos % 64)) & 1ULL;
+}
+
+void BitVector::Set(std::uint64_t pos) {
+  if (pos >= size_) {
+    throw std::out_of_range("BitVector::Set: position out of range");
+  }
+  words_[pos / 64] |= 1ULL << (pos % 64);
+}
+
+void BitVector::Clear(std::uint64_t pos) {
+  if (pos >= size_) {
+    throw std::out_of_range("BitVector::Clear: position out of range");
+  }
+  words_[pos / 64] &= ~(1ULL << (pos % 64));
+}
+
+void BitVector::Assign(std::uint64_t pos, bool value) {
+  if (value) {
+    Set(pos);
+  } else {
+    Clear(pos);
+  }
+}
+
+void BitVector::Reset() noexcept {
+  for (auto& w : words_) w = 0;
+}
+
+std::uint64_t BitVector::Count(PopcountKind kind) const noexcept {
+  return PopcountWords(words_, kind);
+}
+
+void BitVector::AndWith(const BitVector& other) {
+  CheckSameSize(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= other.words_[i];
+  }
+}
+
+void BitVector::OrWith(const BitVector& other) {
+  CheckSameSize(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+}
+
+void BitVector::XorWith(const BitVector& other) {
+  CheckSameSize(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] ^= other.words_[i];
+  }
+  Normalize();
+}
+
+std::uint64_t BitVector::AndCount(const BitVector& other) const {
+  CheckSameSize(other);
+  return AndPopcount(words_, other.words_);
+}
+
+void BitVector::Normalize() noexcept {
+  const std::uint64_t tail = size_ % 64;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << tail) - 1;
+  }
+}
+
+void BitVector::CheckSameSize(const BitVector& other) const {
+  if (size_ != other.size_) {
+    throw std::invalid_argument("BitVector: size mismatch");
+  }
+}
+
+}  // namespace tcim::bit

@@ -1,0 +1,94 @@
+#include "bitmatrix/popcount.h"
+
+#include <array>
+
+namespace tcim::bit {
+namespace {
+
+constexpr std::array<std::uint8_t, 256> MakeLut8() {
+  std::array<std::uint8_t, 256> lut{};
+  for (int i = 0; i < 256; ++i) {
+    lut[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(PopcountSwar(static_cast<std::uint64_t>(i)));
+  }
+  return lut;
+}
+
+const std::array<std::uint8_t, 256> kLut8 = MakeLut8();
+
+std::array<std::uint8_t, 65536> MakeLut16() {
+  std::array<std::uint8_t, 65536> lut{};
+  for (std::size_t i = 0; i < lut.size(); ++i) {
+    lut[i] = static_cast<std::uint8_t>(PopcountSwar(i));
+  }
+  return lut;
+}
+
+const std::array<std::uint8_t, 65536>& Lut16() {
+  static const std::array<std::uint8_t, 65536> lut = MakeLut16();
+  return lut;
+}
+
+}  // namespace
+
+int PopcountLut8(std::uint64_t x) noexcept {
+  // Eight byte lookups summed pairwise — mirrors the hardware adder
+  // tree (4 + 2 + 1 adders) described in paper §V-A.
+  const int b0 = kLut8[static_cast<std::uint8_t>(x)];
+  const int b1 = kLut8[static_cast<std::uint8_t>(x >> 8)];
+  const int b2 = kLut8[static_cast<std::uint8_t>(x >> 16)];
+  const int b3 = kLut8[static_cast<std::uint8_t>(x >> 24)];
+  const int b4 = kLut8[static_cast<std::uint8_t>(x >> 32)];
+  const int b5 = kLut8[static_cast<std::uint8_t>(x >> 40)];
+  const int b6 = kLut8[static_cast<std::uint8_t>(x >> 48)];
+  const int b7 = kLut8[static_cast<std::uint8_t>(x >> 56)];
+  const int s0 = b0 + b1;
+  const int s1 = b2 + b3;
+  const int s2 = b4 + b5;
+  const int s3 = b6 + b7;
+  return (s0 + s1) + (s2 + s3);
+}
+
+int PopcountLut16(std::uint64_t x) noexcept {
+  const auto& lut = Lut16();
+  return lut[static_cast<std::uint16_t>(x)] +
+         lut[static_cast<std::uint16_t>(x >> 16)] +
+         lut[static_cast<std::uint16_t>(x >> 32)] +
+         lut[static_cast<std::uint16_t>(x >> 48)];
+}
+
+int Popcount(std::uint64_t x, PopcountKind kind) noexcept {
+  switch (kind) {
+    case PopcountKind::kBuiltin:
+      return std::popcount(x);
+    case PopcountKind::kSwar:
+      return PopcountSwar(x);
+    case PopcountKind::kLut8:
+      return PopcountLut8(x);
+    case PopcountKind::kLut16:
+      return PopcountLut16(x);
+  }
+  return std::popcount(x);  // unreachable; keeps -Wreturn-type quiet
+}
+
+std::uint64_t PopcountWords(std::span<const std::uint64_t> words,
+                            PopcountKind kind) noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t w : words) {
+    total += static_cast<std::uint64_t>(Popcount(w, kind));
+  }
+  return total;
+}
+
+std::uint64_t AndPopcount(std::span<const std::uint64_t> a,
+                          std::span<const std::uint64_t> b,
+                          PopcountKind kind) noexcept {
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  std::uint64_t total = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += static_cast<std::uint64_t>(Popcount(a[k] & b[k], kind));
+  }
+  return total;
+}
+
+}  // namespace tcim::bit

@@ -1,0 +1,90 @@
+#include "bitmatrix/sliced_matrix.h"
+
+#include <stdexcept>
+
+namespace tcim::bit {
+
+SlicedMatrix SlicedMatrix::FromCsr(std::uint32_t num_vertices,
+                                   std::span<const std::uint64_t> offsets,
+                                   std::span<const std::uint32_t> neighbors,
+                                   std::uint32_t slice_bits) {
+  SlicedMatrix m;
+  m.rows_ = SlicedStore::FromCsr(num_vertices, num_vertices, offsets,
+                                 neighbors, slice_bits);
+
+  // Transpose by counting sort: bucket each arc (i -> j) under j.
+  // Iterating i in increasing order keeps every bucket sorted by i,
+  // which FromCsr requires.
+  std::vector<std::uint64_t> col_offsets(
+      static_cast<std::size_t>(num_vertices) + 1, 0);
+  for (const std::uint32_t j : neighbors) {
+    if (j >= num_vertices) {
+      throw std::invalid_argument("SlicedMatrix: neighbor out of range");
+    }
+    ++col_offsets[static_cast<std::size_t>(j) + 1];
+  }
+  for (std::uint32_t v = 0; v < num_vertices; ++v) {
+    col_offsets[v + 1] += col_offsets[v];
+  }
+  std::vector<std::uint32_t> col_sources(neighbors.size());
+  std::vector<std::uint64_t> cursor(col_offsets.begin(),
+                                    col_offsets.end() - 1);
+  for (std::uint32_t i = 0; i < num_vertices; ++i) {
+    for (std::uint64_t e = offsets[i]; e < offsets[i + 1]; ++e) {
+      const std::uint32_t j = neighbors[e];
+      col_sources[cursor[j]++] = i;
+    }
+  }
+  m.cols_ = SlicedStore::FromCsr(num_vertices, num_vertices, col_offsets,
+                                 col_sources, slice_bits);
+  return m;
+}
+
+std::uint64_t SlicedMatrix::AndPopcountAllEdges(PopcountKind kind) const {
+  std::uint64_t total = 0;
+  const std::uint32_t n = num_vertices();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    rows_.ForEachSetBit(i, [&](std::uint64_t j64) {
+      const auto j = static_cast<std::uint32_t>(j64);
+      ForEachValidPair(i, j, [&](std::uint32_t /*slice*/, std::size_t ra,
+                                 std::size_t cb) {
+        total += AndPopcount(rows_.SliceWords(i, ra), cols_.SliceWords(j, cb),
+                             kind);
+      });
+    });
+  }
+  return total;
+}
+
+SliceStats SlicedMatrix::ComputeStats() const {
+  SliceStats stats;
+  stats.slice_bits = slice_bits();
+  stats.row_valid_slices = rows_.valid_slice_count();
+  stats.col_valid_slices = cols_.valid_slice_count();
+  stats.row_slice_slots = rows_.total_slice_slots();
+  stats.col_slice_slots = cols_.total_slice_slots();
+
+  std::vector<bool> row_touched(rows_.valid_slice_count(), false);
+  std::vector<bool> col_touched(cols_.valid_slice_count(), false);
+
+  const std::uint32_t n = num_vertices();
+  const std::uint64_t per_vector = rows_.slices_per_vector();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    rows_.ForEachSetBit(i, [&](std::uint64_t j64) {
+      const auto j = static_cast<std::uint32_t>(j64);
+      ++stats.edges;
+      stats.total_pairs += per_vector;
+      ForEachValidPair(i, j, [&](std::uint32_t /*slice*/, std::size_t ra,
+                                 std::size_t cb) {
+        ++stats.valid_pairs;
+        row_touched[rows_.GlobalOrdinal(i, ra)] = true;
+        col_touched[cols_.GlobalOrdinal(j, cb)] = true;
+      });
+    });
+  }
+  for (const bool t : row_touched) stats.touched_row_slices += t ? 1 : 0;
+  for (const bool t : col_touched) stats.touched_col_slices += t ? 1 : 0;
+  return stats;
+}
+
+}  // namespace tcim::bit

@@ -1,0 +1,144 @@
+// Sliced adjacency matrix: row store + column store (paper §IV-B).
+//
+// For each non-zero A[i][j], Eq. (5) ANDs row i with column j, so the
+// compressed graph is kept in *both* orientations: a row store (out-
+// neighbor bitmaps) and a column store (in-neighbor bitmaps). The AND
+// runs only on *valid slice pairs* — slice index k such that both
+// RiSk and CjSk are valid — enumerated here by merging the two sorted
+// valid-slice index lists.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitmatrix/popcount.h"
+#include "bitmatrix/sliced_store.h"
+
+namespace tcim::bit {
+
+/// Aggregate slice statistics behind Tables III and IV; see the field
+/// comments for the exact definitions used (EXPERIMENTS.md discusses
+/// how they map onto the paper's numbers).
+struct SliceStats {
+  std::uint64_t row_valid_slices = 0;
+  std::uint64_t col_valid_slices = 0;
+  std::uint64_t row_slice_slots = 0;
+  std::uint64_t col_slice_slots = 0;
+  std::uint64_t edges = 0;
+
+  /// Σ over non-zero A[i][j] of |valid slices of Ri ∩ valid slices of
+  /// Cj| — the number of in-memory AND operations Algorithm 1 issues.
+  std::uint64_t valid_pairs = 0;
+  /// Σ over non-zero A[i][j] of slices_per_vector — the AND count a
+  /// slicing-oblivious implementation would issue (denominator of the
+  /// "99.99% computation reduction" claim).
+  std::uint64_t total_pairs = 0;
+
+  /// Distinct row/column slices that participate in >= 1 valid pair —
+  /// the slices that are ever loaded into the computational array.
+  /// WorkingSetBytes() is the Table III "valid slice data size".
+  std::uint64_t touched_row_slices = 0;
+  std::uint64_t touched_col_slices = 0;
+
+  std::uint32_t slice_bits = 64;
+
+  /// NVS*(|S|/8+4) over both stores (paper's storage formula).
+  [[nodiscard]] std::uint64_t CompressedBytes() const noexcept {
+    return (row_valid_slices + col_valid_slices) *
+           (slice_bits / 8ULL + 4ULL);
+  }
+  /// Bytes of slices ever loaded for computation (Table III analog).
+  [[nodiscard]] std::uint64_t WorkingSetBytes() const noexcept {
+    return (touched_row_slices + touched_col_slices) *
+           (slice_bits / 8ULL + 4ULL);
+  }
+  /// Valid slices / slice slots over both stores (Table IV analog,
+  /// storage view).
+  [[nodiscard]] double ValidSliceFraction() const noexcept {
+    const auto slots = row_slice_slots + col_slice_slots;
+    return slots == 0 ? 0.0
+                      : static_cast<double>(row_valid_slices +
+                                            col_valid_slices) /
+                            static_cast<double>(slots);
+  }
+  /// valid_pairs / total_pairs (Table IV analog, computation view; the
+  /// "reduce computation by 99.99%" figure is 1 - this).
+  [[nodiscard]] double ValidPairFraction() const noexcept {
+    return total_pairs == 0 ? 0.0
+                            : static_cast<double>(valid_pairs) /
+                                  static_cast<double>(total_pairs);
+  }
+};
+
+/// Row + column compressed slice stores for one (oriented) adjacency
+/// matrix, with the valid-slice-pair merge kernel.
+class SlicedMatrix {
+ public:
+  SlicedMatrix() = default;
+
+  /// Builds both stores from a CSR adjacency (out-neighbors).
+  ///  - offsets/neighbors: CSR of the *oriented* matrix, per-row sorted
+  ///    strictly increasing;
+  ///  - the column store is derived internally by transposition.
+  static SlicedMatrix FromCsr(std::uint32_t num_vertices,
+                              std::span<const std::uint64_t> offsets,
+                              std::span<const std::uint32_t> neighbors,
+                              std::uint32_t slice_bits);
+
+  [[nodiscard]] const SlicedStore& rows() const noexcept { return rows_; }
+  [[nodiscard]] const SlicedStore& cols() const noexcept { return cols_; }
+  [[nodiscard]] std::uint32_t num_vertices() const noexcept {
+    return rows_.num_vectors();
+  }
+  [[nodiscard]] std::uint32_t slice_bits() const noexcept {
+    return rows_.slice_bits();
+  }
+  [[nodiscard]] std::uint64_t edge_count() const noexcept {
+    return rows_.set_bit_count();
+  }
+
+  /// Merge-enumerates valid slice pairs of (row i, column j), calling
+  ///   fn(slice_index, row_ordinal, col_ordinal)
+  /// in increasing slice_index order, where the ordinals index into
+  /// SliceWords/GlobalOrdinal of the respective stores.
+  template <typename Fn>
+  void ForEachValidPair(std::uint32_t i, std::uint32_t j, Fn&& fn) const {
+    const std::span<const std::uint32_t> ri = rows_.SliceIndices(i);
+    const std::span<const std::uint32_t> cj = cols_.SliceIndices(j);
+    std::size_t a = 0;
+    std::size_t b = 0;
+    while (a < ri.size() && b < cj.size()) {
+      if (ri[a] < cj[b]) {
+        ++a;
+      } else if (ri[a] > cj[b]) {
+        ++b;
+      } else {
+        fn(ri[a], a, b);
+        ++a;
+        ++b;
+      }
+    }
+  }
+
+  /// Software evaluation of Eq. (5) over the compressed stores: for
+  /// every non-zero A[i][j], Σ BitCount(AND(RiSk, CjSk)) over valid
+  /// pairs. With an upper-triangular (oriented) adjacency this *is*
+  /// the triangle count; the caller owns that interpretation.
+  [[nodiscard]] std::uint64_t AndPopcountAllEdges(
+      PopcountKind kind = PopcountKind::kBuiltin) const;
+
+  /// Full statistics pass (Tables III/IV); costs one edge iteration.
+  [[nodiscard]] SliceStats ComputeStats() const;
+
+  /// Heap footprint of both stores (diagnostics).
+  [[nodiscard]] std::uint64_t HeapBytes() const noexcept {
+    return rows_.HeapBytes() + cols_.HeapBytes();
+  }
+
+ private:
+  SlicedStore rows_;
+  SlicedStore cols_;
+};
+
+}  // namespace tcim::bit

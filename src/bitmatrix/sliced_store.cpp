@@ -1,0 +1,131 @@
+#include "bitmatrix/sliced_store.h"
+
+#include <stdexcept>
+
+namespace tcim::bit {
+
+SlicedStore SlicedStore::FromCsr(std::uint32_t num_vectors,
+                                 std::uint64_t universe,
+                                 std::span<const std::uint64_t> offsets,
+                                 std::span<const std::uint32_t> positions,
+                                 std::uint32_t slice_bits) {
+  if (slice_bits == 0 || slice_bits > 512) {
+    throw std::invalid_argument("SlicedStore: slice_bits must be in [1,512]");
+  }
+  if (offsets.size() != static_cast<std::size_t>(num_vectors) + 1) {
+    throw std::invalid_argument("SlicedStore: offsets size mismatch");
+  }
+  if (!offsets.empty() &&
+      (offsets.front() != 0 || offsets.back() != positions.size())) {
+    throw std::invalid_argument("SlicedStore: offsets must span positions");
+  }
+
+  SlicedStore store;
+  store.num_vectors_ = num_vectors;
+  store.universe_ = universe;
+  store.slice_bits_ = slice_bits;
+  store.words_per_slice_ = (slice_bits + 63) / 64;
+  store.slices_per_vector_ =
+      universe == 0 ? 0 : (universe + slice_bits - 1) / slice_bits;
+  store.offsets_.assign(static_cast<std::size_t>(num_vectors) + 1, 0);
+
+  // Pass 1: count valid slices per vector.
+  std::uint64_t total_valid = 0;
+  for (std::uint32_t v = 0; v < num_vectors; ++v) {
+    if (offsets[v] > offsets[v + 1]) {
+      throw std::invalid_argument("SlicedStore: offsets not monotone");
+    }
+    std::uint64_t prev_slice = ~0ULL;
+    std::uint64_t prev_pos = ~0ULL;
+    for (std::uint64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+      const std::uint64_t pos = positions[e];
+      if (pos >= universe) {
+        throw std::invalid_argument("SlicedStore: position out of universe");
+      }
+      if (prev_pos != ~0ULL && pos <= prev_pos) {
+        throw std::invalid_argument(
+            "SlicedStore: positions must be strictly increasing per vector");
+      }
+      prev_pos = pos;
+      const std::uint64_t s = pos / slice_bits;
+      if (s != prev_slice) {
+        ++total_valid;
+        prev_slice = s;
+      }
+    }
+    store.offsets_[v + 1] = total_valid;
+  }
+
+  // Pass 2: fill indices and packed words.
+  store.indices_.assign(total_valid, 0);
+  store.words_.assign(total_valid * store.words_per_slice_, 0);
+  for (std::uint32_t v = 0; v < num_vectors; ++v) {
+    std::uint64_t cursor = store.offsets_[v];
+    std::uint64_t prev_slice = ~0ULL;
+    for (std::uint64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+      const std::uint64_t pos = positions[e];
+      const std::uint64_t s = pos / slice_bits;
+      if (s != prev_slice) {
+        store.indices_[cursor] = static_cast<std::uint32_t>(s);
+        prev_slice = s;
+        ++cursor;
+      }
+      const std::uint64_t in_slice = pos % slice_bits;
+      const std::uint64_t word_base = (cursor - 1) * store.words_per_slice_;
+      store.words_[word_base + in_slice / 64] |= 1ULL << (in_slice % 64);
+    }
+  }
+  return store;
+}
+
+std::uint64_t SlicedStore::set_bit_count() const noexcept {
+  return PopcountWords(words_, PopcountKind::kBuiltin);
+}
+
+std::size_t SlicedStore::SliceCount(std::uint32_t v) const {
+  if (v >= num_vectors_) {
+    throw std::out_of_range("SlicedStore::SliceCount: vector out of range");
+  }
+  return static_cast<std::size_t>(offsets_[v + 1] - offsets_[v]);
+}
+
+std::span<const std::uint32_t> SlicedStore::SliceIndices(
+    std::uint32_t v) const {
+  if (v >= num_vectors_) {
+    throw std::out_of_range("SlicedStore::SliceIndices: vector out of range");
+  }
+  return {indices_.data() + offsets_[v],
+          static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+}
+
+std::span<const std::uint64_t> SlicedStore::SliceWords(
+    std::uint32_t v, std::size_t ordinal) const {
+  const std::uint64_t global = GlobalOrdinal(v, ordinal);
+  return {words_.data() + global * words_per_slice_, words_per_slice_};
+}
+
+std::uint64_t SlicedStore::GlobalOrdinal(std::uint32_t v,
+                                         std::size_t ordinal) const {
+  if (v >= num_vectors_) {
+    throw std::out_of_range("SlicedStore::GlobalOrdinal: vector out of range");
+  }
+  const std::uint64_t global = offsets_[v] + ordinal;
+  if (global >= offsets_[v + 1]) {
+    throw std::out_of_range("SlicedStore::GlobalOrdinal: ordinal out of range");
+  }
+  return global;
+}
+
+BitVector SlicedStore::ToBitVector(std::uint32_t v) const {
+  BitVector out(universe_);
+  ForEachSetBit(v, [&](std::uint64_t pos) { out.Set(pos); });
+  return out;
+}
+
+std::uint64_t SlicedStore::HeapBytes() const noexcept {
+  return offsets_.capacity() * sizeof(std::uint64_t) +
+         indices_.capacity() * sizeof(std::uint32_t) +
+         words_.capacity() * sizeof(std::uint64_t);
+}
+
+}  // namespace tcim::bit

@@ -1,0 +1,128 @@
+// Compressed valid-slice storage (paper §IV-B).
+//
+// A row (or column) of the adjacency matrix is partitioned into slices
+// of |S| bits; a slice is *valid* iff it contains at least one set bit,
+// and only valid slices are stored: a 4-byte slice index plus |S|/8
+// bytes of slice data — exactly the paper's
+//   space(G) = NVS * (|S|/8 + 4) bytes
+// format, which "is friendly for directly mapping onto the
+// computational memory arrays".
+//
+// SlicedStore holds one such compressed store for *all* vectors of one
+// orientation (all rows, or all columns) in CSR-like flat arrays, so a
+// multi-million-vertex graph costs three allocations, not millions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitmatrix/bitvector.h"
+
+namespace tcim::bit {
+
+/// Immutable compressed slice store; see file comment.
+/// Invariants: per-vector slice indices are strictly increasing; every
+/// stored slice has at least one set bit; words beyond slice_bits are
+/// zero.
+class SlicedStore {
+ public:
+  SlicedStore() = default;
+
+  /// Packs a CSR-style adjacency into slices.
+  ///  - `num_vectors`: number of rows (or columns);
+  ///  - `universe`: bit-length of each vector (≥ max position + 1);
+  ///  - `offsets` (size num_vectors+1) and `positions`: per-vector
+  ///    sorted, duplicate-free bit positions;
+  ///  - `slice_bits`: |S|, in [1, 512].
+  /// Throws std::invalid_argument on malformed input (unsorted
+  /// positions, offsets not monotone, positions >= universe).
+  static SlicedStore FromCsr(std::uint32_t num_vectors, std::uint64_t universe,
+                             std::span<const std::uint64_t> offsets,
+                             std::span<const std::uint32_t> positions,
+                             std::uint32_t slice_bits);
+
+  [[nodiscard]] std::uint32_t num_vectors() const noexcept {
+    return num_vectors_;
+  }
+  [[nodiscard]] std::uint64_t universe() const noexcept { return universe_; }
+  [[nodiscard]] std::uint32_t slice_bits() const noexcept {
+    return slice_bits_;
+  }
+  [[nodiscard]] std::uint32_t words_per_slice() const noexcept {
+    return words_per_slice_;
+  }
+  /// Number of slice positions per vector, i.e. ceil(universe / |S|).
+  [[nodiscard]] std::uint64_t slices_per_vector() const noexcept {
+    return slices_per_vector_;
+  }
+
+  /// Total number of valid slices across all vectors (the paper's NVS
+  /// for this orientation).
+  [[nodiscard]] std::uint64_t valid_slice_count() const noexcept {
+    return indices_.size();
+  }
+  /// Total number of slice slots (valid + empty) = num_vectors *
+  /// slices_per_vector; denominator of the Table IV percentage.
+  [[nodiscard]] std::uint64_t total_slice_slots() const noexcept {
+    return static_cast<std::uint64_t>(num_vectors_) * slices_per_vector_;
+  }
+  /// NVS * (|S|/8 + 4) — the paper's compressed-size formula.
+  [[nodiscard]] std::uint64_t compressed_bytes() const noexcept {
+    return valid_slice_count() * (slice_bits_ / 8 + 4);
+  }
+  /// Number of set bits across the whole store.
+  [[nodiscard]] std::uint64_t set_bit_count() const noexcept;
+
+  /// Valid-slice count of one vector.
+  [[nodiscard]] std::size_t SliceCount(std::uint32_t v) const;
+  /// Sorted valid slice indices of vector v.
+  [[nodiscard]] std::span<const std::uint32_t> SliceIndices(
+      std::uint32_t v) const;
+  /// Data words of the ordinal-th valid slice of vector v
+  /// (words_per_slice() words).
+  [[nodiscard]] std::span<const std::uint64_t> SliceWords(
+      std::uint32_t v, std::size_t ordinal) const;
+  /// Store-wide ordinal of the ordinal-th valid slice of vector v;
+  /// stable id in [0, valid_slice_count()), used as a cache tag.
+  [[nodiscard]] std::uint64_t GlobalOrdinal(std::uint32_t v,
+                                            std::size_t ordinal) const;
+
+  /// Reconstructs the dense bit vector for v (validation/round-trip).
+  [[nodiscard]] BitVector ToBitVector(std::uint32_t v) const;
+
+  /// Calls fn(position) for every set bit of vector v in increasing
+  /// order (drives the edge iteration of Algorithm 1).
+  template <typename Fn>
+  void ForEachSetBit(std::uint32_t v, Fn&& fn) const {
+    const std::uint64_t begin = offsets_[v];
+    const std::uint64_t end = offsets_[v + 1];
+    for (std::uint64_t s = begin; s < end; ++s) {
+      const std::uint64_t base =
+          static_cast<std::uint64_t>(indices_[s]) * slice_bits_;
+      for (std::uint32_t w = 0; w < words_per_slice_; ++w) {
+        std::uint64_t word = words_[s * words_per_slice_ + w];
+        while (word != 0) {
+          const int b = std::countr_zero(word);
+          fn(base + w * 64ULL + static_cast<std::uint64_t>(b));
+          word &= word - 1;
+        }
+      }
+    }
+  }
+
+  /// Approximate heap footprint of the store itself (diagnostics).
+  [[nodiscard]] std::uint64_t HeapBytes() const noexcept;
+
+ private:
+  std::uint32_t num_vectors_ = 0;
+  std::uint64_t universe_ = 0;
+  std::uint32_t slice_bits_ = 64;
+  std::uint32_t words_per_slice_ = 1;
+  std::uint64_t slices_per_vector_ = 0;
+  std::vector<std::uint64_t> offsets_;  // size num_vectors_+1, into indices_
+  std::vector<std::uint32_t> indices_;  // valid slice index within vector
+  std::vector<std::uint64_t> words_;    // words_per_slice_ per valid slice
+};
+
+}  // namespace tcim::bit

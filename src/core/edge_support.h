@@ -1,0 +1,44 @@
+// Per-edge triangle support via the TCIM kernel.
+//
+// The support of edge (u, v) — the number of triangles containing it —
+// is |N(u) ∩ N(v)|, which in the bitwise formulation is exactly
+// BitCount(AND(Row_u, Col_v)) over the FULL SYMMETRIC adjacency
+// matrix (both stores hold complete neighborhoods). TCIM therefore
+// computes truss-style supports with the identical in-memory dataflow
+// it uses for counting: one accumulated BitCount per edge instead of
+// one global total. This is the enabling kernel for the k-truss
+// extension (the paper's GPU/FPGA comparators [2][3] solve TC *and*
+// truss decomposition; the conclusion positions TCIM's machinery as
+// problem-agnostic).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/accelerator.h"
+#include "graph/graph.h"
+
+namespace tcim::core {
+
+/// Canonical edge indexing: edges in Graph::ForEachEdge order
+/// (u < v, lexicographic). EdgeId is the position in that order.
+struct EdgeSupports {
+  /// support[e] = number of triangles containing canonical edge e.
+  std::vector<std::uint32_t> support;
+  /// Σ support / 3 (each triangle has three edges) — cross-check.
+  [[nodiscard]] std::uint64_t TriangleCount() const noexcept;
+};
+
+/// Software path: merge-intersect full neighborhoods per edge.
+[[nodiscard]] EdgeSupports ComputeEdgeSupportsCpu(const graph::Graph& g);
+
+/// TCIM path: full pipeline on the symmetric sliced matrix with the
+/// per-edge BitCount sink; also returns the run's ExecStats/perf via
+/// `result` when non-null. Each undirected edge is visited twice (as
+/// (u,v) and (v,u)); both visits produce the same support, asserted in
+/// tests.
+[[nodiscard]] EdgeSupports ComputeEdgeSupportsTcim(
+    const graph::Graph& g, const TcimAccelerator& accelerator,
+    TcimResult* result = nullptr);
+
+}  // namespace tcim::core

@@ -1,0 +1,74 @@
+#include "core/perf_model.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tcim::core {
+
+PerfResult EvaluatePerf(const arch::ExecStats& stats,
+                        const nvsim::ArrayPerf& array_perf,
+                        const pim::BitCounterParams& counter,
+                        const PerfModelParams& params) {
+  PerfResult r;
+
+  const double t_write = array_perf.write_slice.latency;
+  const double t_and = array_perf.and_slice.latency;
+
+  r.latency.row_write_s =
+      static_cast<double>(stats.row_slice_writes) * t_write;
+  r.latency.col_write_s =
+      static_cast<double>(stats.col_slice_writes) * t_write;
+  r.latency.and_s = static_cast<double>(stats.valid_pairs) * t_and;
+  // The bit counter is pipelined behind the sense amplifiers: in
+  // steady state it overlaps the AND stream and only the drain of the
+  // last slice shows up.
+  r.latency.bitcount_s = counter.latency_per_word;
+
+  const double issue =
+      static_cast<double>(stats.TotalWrites() + stats.valid_pairs) *
+      params.issue_overhead;
+  r.serial_seconds = r.latency.SerialTotal() + issue;
+
+  // Parallel view: each subarray serializes its own writes+ANDs; the
+  // chip finishes when the busiest subarray does. The single
+  // controller still pays the issue overhead for every command.
+  double critical = 0.0;
+  for (std::size_t s = 0; s < stats.per_subarray_ands.size(); ++s) {
+    const double t =
+        static_cast<double>(stats.per_subarray_ands[s]) * t_and +
+        static_cast<double>(stats.per_subarray_writes[s]) * t_write;
+    critical = std::max(critical, t);
+  }
+  r.parallel_seconds = std::max(critical, issue) + counter.latency_per_word;
+
+  r.energy.row_write_j = static_cast<double>(stats.row_slice_writes) *
+                         array_perf.write_slice.energy;
+  r.energy.col_write_j = static_cast<double>(stats.col_slice_writes) *
+                         array_perf.write_slice.energy;
+  r.energy.and_j =
+      static_cast<double>(stats.valid_pairs) * array_perf.and_slice.energy;
+  r.energy.bitcount_j =
+      static_cast<double>(stats.bitcount_words) * counter.energy_per_word;
+  r.energy.buffer_io_j =
+      static_cast<double>(stats.TotalWrites() + stats.valid_pairs) *
+      params.issue_energy;
+  r.energy.leakage_j = array_perf.leakage_w * r.serial_seconds;
+  r.energy_joules = r.energy.Total();
+  r.platform_joules =
+      r.energy_joules + params.host_platform_power * r.serial_seconds;
+  r.avg_power_w =
+      r.serial_seconds > 0 ? r.energy_joules / r.serial_seconds : 0.0;
+  return r;
+}
+
+std::string PerfResult::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "serial %.3f ms, parallel %.3f ms, energy %.3f mJ, avg "
+                "power %.1f mW",
+                serial_seconds * 1e3, parallel_seconds * 1e3,
+                energy_joules * 1e3, avg_power_w * 1e3);
+  return buf;
+}
+
+}  // namespace tcim::core

@@ -1,0 +1,43 @@
+// k-truss decomposition on top of the TCIM support kernel.
+//
+// The k-truss of G is the maximal subgraph in which every edge is
+// contained in at least k-2 triangles (of that subgraph); the
+// *trussness* of an edge is the largest k whose k-truss contains it.
+// Truss decomposition = TC's per-edge generalization, and the standard
+// companion benchmark of the paper's GPU/FPGA comparators [2][3].
+//
+// Pipeline: edge supports from the (in-memory) AND+BitCount kernel
+// (core/edge_support.h), then the classic peeling algorithm on the
+// host: repeatedly remove the edge of minimum support, fixing up the
+// supports of the other two edges of each destroyed triangle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/edge_support.h"
+#include "graph/graph.h"
+
+namespace tcim::core {
+
+struct TrussResult {
+  /// trussness[e] for canonical edge e (ForEachEdge order); >= 2.
+  std::vector<std::uint32_t> trussness;
+  /// Largest k with a non-empty k-truss (>= 2; 2 for triangle-free).
+  std::uint32_t max_truss = 2;
+
+  /// Number of edges with trussness >= k.
+  [[nodiscard]] std::uint64_t KTrussEdgeCount(std::uint32_t k) const;
+  /// Histogram: count of edges per trussness value (index = k).
+  [[nodiscard]] std::vector<std::uint64_t> Histogram() const;
+};
+
+/// Peeling decomposition given precomputed supports (consumed).
+/// Supports must be the triangle supports of `g`'s canonical edges.
+[[nodiscard]] TrussResult DecomposeTruss(const graph::Graph& g,
+                                         std::vector<std::uint32_t> support);
+
+/// Convenience: CPU supports + peeling.
+[[nodiscard]] TrussResult DecomposeTrussCpu(const graph::Graph& g);
+
+}  // namespace tcim::core

@@ -1,0 +1,49 @@
+#include "device/brinkman.h"
+
+#include <cmath>
+
+#include "util/units.h"
+
+namespace tcim::device {
+namespace {
+/// Free electron mass [kg].
+constexpr double kElectronMass = 9.1093837015e-31;
+}  // namespace
+
+BrinkmanModel::BrinkmanModel(const MtjParams& params) : params_(params) {
+  params_.Validate();
+  r_p0_ = params_.resistance_area_product / params_.Area();
+
+  // Dimensionless barrier strength a0 = 4 d sqrt(2 m phi) / (3 hbar);
+  // with it the symmetric-barrier Brinkman expansion reads
+  //   G(V)/G(0) = 1 + (9/128) a0^2 (eV/phi)^2,
+  // so the coefficient of V^2 is (9/128) a0^2 / phi_eV^2.
+  const double phi_j = params_.barrier_height_ev * util::kElectronCharge;
+  const double d = params_.oxide_thickness;
+  const double a0 =
+      4.0 * d * std::sqrt(2.0 * kElectronMass * phi_j) / (3.0 * util::kHbar);
+  quad_coeff_ = 9.0 / 128.0 * a0 * a0 /
+                (params_.barrier_height_ev * params_.barrier_height_ev);
+}
+
+double BrinkmanModel::ZeroBiasResistance(MtjState state) const noexcept {
+  return state == MtjState::kParallel ? r_p0_ : r_p0_ * (1.0 + params_.tmr);
+}
+
+double BrinkmanModel::TmrAtBias(double v) const noexcept {
+  const double x = v / params_.tmr_rolloff_volts;
+  return params_.tmr / (1.0 + x * x);
+}
+
+double BrinkmanModel::Resistance(MtjState state, double v) const noexcept {
+  // Conductance enhancement from the quadratic Brinkman term.
+  const double g_factor = 1.0 + quad_coeff_ * v * v;
+  const double r_p = r_p0_ / g_factor;
+  if (state == MtjState::kParallel) {
+    return r_p;
+  }
+  // AP resistance additionally shrinks through the TMR roll-off.
+  return r_p * (1.0 + TmrAtBias(v));
+}
+
+}  // namespace tcim::device

@@ -1,0 +1,61 @@
+// Brinkman tunneling model (Brinkman, Dynes & Rowell 1970) for the MTJ
+// barrier, as used by the paper's device-level characterization
+// ("we jointly use the Brinkman model and LLG equation", §V-A).
+//
+// The model gives the bias-dependent conductance of a trapezoidal
+// tunnel barrier:
+//   G(V)/G(0) = 1 - (A0 * dphi / (16 * phi^1.5)) * eV
+//               + (9/128) * A0^2 / phi * (eV)^2
+// with A0 = 4 * sqrt(2m) * d / (3 hbar) (d = barrier thickness, phi =
+// mean barrier height, dphi = barrier asymmetry). We use a symmetric
+// barrier (dphi = 0) so only the quadratic term survives, and
+// normalize G(0) to the measured RA product at each magnetic state.
+// The TMR itself rolls off with bias through the standard
+// phenomenological TMR(V) = TMR0 / (1 + (V/Vh)^2).
+#pragma once
+
+#include "device/mtj_params.h"
+
+namespace tcim::device {
+
+/// Magnetic state of the junction.
+enum class MtjState : int { kParallel = 0, kAntiParallel = 1 };
+
+class BrinkmanModel {
+ public:
+  explicit BrinkmanModel(const MtjParams& params);
+
+  /// Zero-bias resistance of the given state [Ohm]:
+  /// R_P = RA / area, R_AP = R_P * (1 + TMR).
+  [[nodiscard]] double ZeroBiasResistance(MtjState state) const noexcept;
+
+  /// Bias-dependent resistance [Ohm] at voltage v across the junction.
+  /// Monotonically decreasing in |v| (barrier transmission grows).
+  [[nodiscard]] double Resistance(MtjState state, double v) const noexcept;
+
+  /// Bias-dependent conductance [S].
+  [[nodiscard]] double Conductance(MtjState state, double v) const noexcept {
+    return 1.0 / Resistance(state, v);
+  }
+
+  /// Current through the junction at bias v [A].
+  [[nodiscard]] double Current(MtjState state, double v) const noexcept {
+    return v * Conductance(state, v);
+  }
+
+  /// Effective TMR at bias v (rolls off with |v|).
+  [[nodiscard]] double TmrAtBias(double v) const noexcept;
+
+  /// The dimensionless quadratic Brinkman coefficient
+  /// (9/128) * A0^2 / phi in 1/V^2; exposed for tests.
+  [[nodiscard]] double QuadraticCoefficient() const noexcept {
+    return quad_coeff_;
+  }
+
+ private:
+  MtjParams params_;
+  double r_p0_;        // zero-bias parallel resistance
+  double quad_coeff_;  // (9/128) A0^2 / phi  [1/V^2]
+};
+
+}  // namespace tcim::device

@@ -1,0 +1,155 @@
+#include "device/llg.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace tcim::device {
+namespace {
+
+using Vec3 = std::array<double, 3>;
+
+constexpr Vec3 Cross(const Vec3& a, const Vec3& b) noexcept {
+  return {a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2],
+          a[0] * b[1] - a[1] * b[0]};
+}
+
+void Normalize(Vec3& v) noexcept {
+  const double n = std::sqrt(v[0] * v[0] + v[1] * v[1] + v[2] * v[2]);
+  if (n > 0) {
+    v[0] /= n;
+    v[1] /= n;
+    v[2] /= n;
+  }
+}
+
+}  // namespace
+
+LlgSolver::LlgSolver(const MtjParams& params) : params_(params) {
+  params_.Validate();
+}
+
+double LlgSolver::ThermalStability() const noexcept {
+  const double barrier = util::kMu0 * params_.saturation_magnetization *
+                         params_.anisotropy_field * params_.Volume() / 2.0;
+  return barrier / (util::kBoltzmann * params_.temperature);
+}
+
+double LlgSolver::InitialTiltAngle() const noexcept {
+  return std::sqrt(1.0 / (2.0 * ThermalStability()));
+}
+
+double LlgSolver::CriticalCurrentDensity() const noexcept {
+  // PMA macrospin instability threshold: the linearized LLGS around
+  // +z loses stability when the spin-torque field aj exceeds
+  // alpha * Hk, i.e. Jc0 = (2e/hbar) (alpha/P) mu0 Ms t_f Hk
+  // (equivalently the often-quoted (4e/hbar)(alpha/P) mu0 Ms t_f Hk/2).
+  return (2.0 * util::kElectronCharge / util::kHbar) *
+         (params_.gilbert_damping / params_.spin_polarization) * util::kMu0 *
+         params_.saturation_magnetization * params_.free_layer_thickness *
+         params_.anisotropy_field;
+}
+
+double LlgSolver::CriticalCurrent() const noexcept {
+  return CriticalCurrentDensity() * params_.Area();
+}
+
+std::array<double, 3> LlgSolver::Derivative(const Vec3& m,
+                                            double aj) const noexcept {
+  const double alpha = params_.gilbert_damping;
+  const double g = util::kGyromagneticRatio * util::kMu0 /
+                   (1.0 + alpha * alpha);
+  // Effective field: perpendicular anisotropy only (Hk is the *net*
+  // out-of-plane field, demag already folded in per Table I).
+  const Vec3 h = {0.0, 0.0, params_.anisotropy_field * m[2]};
+  const Vec3 p = {0.0, 0.0, 1.0};  // fixed layer along +z
+
+  const Vec3 mxh = Cross(m, h);
+  const Vec3 mxmxh = Cross(m, mxh);
+  const Vec3 mxp = Cross(m, p);
+  const Vec3 mxmxp = Cross(m, mxp);
+
+  // Anti-damping sign convention: positive current opposes the Gilbert
+  // damping around the +z pole, i.e. [m x (m x p)]_z = -sin^2(theta)
+  // enters with +g*aj so that it pulls m_z downward (switching).
+  Vec3 dm;
+  for (int i = 0; i < 3; ++i) {
+    dm[i] = -g * (mxh[i] + alpha * mxmxh[i]) +
+            g * aj * (mxmxp[i] + alpha * mxp[i]);
+  }
+  return dm;
+}
+
+LlgResult LlgSolver::SimulateSwitching(double current_amps, double max_time,
+                                       double dt) const {
+  if (dt <= 0 || max_time <= 0) {
+    throw std::invalid_argument("LlgSolver: dt and max_time must be positive");
+  }
+  const double j = current_amps / params_.Area();
+  // Spin-torque field aj = hbar J P / (2 e mu0 Ms t_f)  [A/m].
+  const double aj = util::kHbar * j * params_.spin_polarization /
+                    (2.0 * util::kElectronCharge * util::kMu0 *
+                     params_.saturation_magnetization *
+                     params_.free_layer_thickness);
+
+  const double theta0 = InitialTiltAngle();
+  Vec3 m = {std::sin(theta0), 0.0, std::cos(theta0)};
+
+  LlgResult result;
+  const auto max_steps = static_cast<std::uint64_t>(max_time / dt);
+  for (std::uint64_t step = 0; step < max_steps; ++step) {
+    // Classic RK4 with renormalization (the ODE preserves |m| exactly;
+    // renormalization removes integration drift).
+    const Vec3 k1 = Derivative(m, aj);
+    Vec3 m2;
+    for (int i = 0; i < 3; ++i) m2[i] = m[i] + 0.5 * dt * k1[i];
+    const Vec3 k2 = Derivative(m2, aj);
+    Vec3 m3;
+    for (int i = 0; i < 3; ++i) m3[i] = m[i] + 0.5 * dt * k2[i];
+    const Vec3 k3 = Derivative(m3, aj);
+    Vec3 m4;
+    for (int i = 0; i < 3; ++i) m4[i] = m[i] + dt * k3[i];
+    const Vec3 k4 = Derivative(m4, aj);
+    for (int i = 0; i < 3; ++i) {
+      m[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+    Normalize(m);
+    result.steps = step + 1;
+    if (m[2] < -0.9) {
+      result.switched = true;
+      result.switching_time = static_cast<double>(step + 1) * dt;
+      break;
+    }
+  }
+  result.final_mz = m[2];
+  return result;
+}
+
+double LlgSolver::CurrentForSwitchingTime(double target_seconds) const {
+  const double ic0 = CriticalCurrent();
+  double lo = 1.05 * ic0;
+  double hi = 32.0 * ic0;
+  const auto time_at = [&](double current) {
+    const LlgResult r = SimulateSwitching(
+        current, /*max_time=*/std::max(8.0 * target_seconds, 20e-9));
+    return r.switched ? r.switching_time
+                      : std::numeric_limits<double>::infinity();
+  };
+  if (time_at(hi) > target_seconds) {
+    throw std::runtime_error(
+        "LlgSolver: switching-time target unreachable below 32*Ic0");
+  }
+  for (int iter = 0; iter < 48; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (time_at(mid) <= target_seconds) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace tcim::device

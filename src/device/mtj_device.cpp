@@ -1,0 +1,72 @@
+#include "device/mtj_device.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tcim::device {
+
+MtjDevice::MtjDevice(const MtjParams& params)
+    : params_(params), brinkman_(params), llg_(params) {}
+
+double MtjDevice::CellCurrent(MtjState state, double cell_voltage) const {
+  // Voltage divider between the access transistor and the
+  // bias-dependent MTJ; a few fixed-point iterations converge because
+  // R(V) varies slowly within one step.
+  double v_mtj = cell_voltage * 0.5;
+  for (int iter = 0; iter < 8; ++iter) {
+    const double r_mtj = brinkman_.Resistance(state, v_mtj);
+    v_mtj = cell_voltage * r_mtj / (r_mtj + params_.access_resistance);
+  }
+  const double r_mtj = brinkman_.Resistance(state, v_mtj);
+  return cell_voltage / (r_mtj + params_.access_resistance);
+}
+
+const MtjElectrical& MtjDevice::Characterize() const {
+  if (cached_) return electrical_;
+  MtjElectrical e;
+
+  const double vr = params_.read_voltage;
+  e.r_p = brinkman_.Resistance(MtjState::kParallel, vr);
+  e.r_ap = brinkman_.Resistance(MtjState::kAntiParallel, vr);
+
+  // Single-cell READ levels ('1' = P = high current).
+  e.i_read_1 = CellCurrent(MtjState::kParallel, vr);
+  e.i_read_0 = CellCurrent(MtjState::kAntiParallel, vr);
+  e.read_reference = 0.5 * (e.i_read_1 + e.i_read_0);
+  e.read_margin = 0.5 * (e.i_read_1 - e.i_read_0);
+
+  // Two-cell AND levels: both word lines enabled, currents sum on the
+  // bit line (each cell sees the same read voltage through its own
+  // access device, Fig. 1 right).
+  e.i_and_11 = 2.0 * e.i_read_1;
+  e.i_and_10 = e.i_read_1 + e.i_read_0;
+  e.i_and_00 = 2.0 * e.i_read_0;
+  e.and_reference = 0.5 * (e.i_and_11 + e.i_and_10);
+  e.and_margin =
+      std::min(e.i_and_11 - e.and_reference, e.and_reference - e.i_and_10);
+
+  // WRITE: worst-case polarity is writing toward AP (higher path
+  // resistance, smaller current).
+  const double i_to_ap =
+      CellCurrent(MtjState::kAntiParallel, params_.write_voltage);
+  const double i_to_p =
+      CellCurrent(MtjState::kParallel, params_.write_voltage);
+  e.write_current = std::min(i_to_ap, i_to_p);
+
+  const LlgResult sw = llg_.SimulateSwitching(e.write_current);
+  // A non-switching write current would make the whole design invalid;
+  // surface it loudly instead of silently producing zero time.
+  e.switching_time = sw.switched ? sw.switching_time : -1.0;
+  e.write_energy_bit = sw.switched ? params_.write_voltage * e.write_current *
+                                         sw.switching_time
+                                   : -1.0;
+
+  e.critical_current = llg_.CriticalCurrent();
+  e.thermal_stability = llg_.ThermalStability();
+
+  electrical_ = e;
+  cached_ = true;
+  return electrical_;
+}
+
+}  // namespace tcim::device

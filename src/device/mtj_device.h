@@ -1,0 +1,80 @@
+// MTJ cell electrical characterization — the device-level scalars the
+// NVSim-style array model consumes (paper §V-A: "After getting the
+// device level simulation results, we integrate the parameters in the
+// open-source NVSim simulator").
+//
+// Combines the Brinkman bias-dependent resistance with the LLG
+// switching transient, through the 1T1R cell series path (access
+// transistor + MTJ). Logic convention throughout the stack: bit '1' is
+// the parallel (low-resistance, high-current) state.
+//
+// The computational READ/AND sensing follows Fig. 1/Fig. 4 of the
+// paper: for AND, two word lines are activated and the summed bit-line
+// current is compared against a reference placed between the (P,P) and
+// (P,AP) levels — equivalently R_ref-AND in (R_P-P, R_P-AP).
+#pragma once
+
+#include "device/brinkman.h"
+#include "device/llg.h"
+#include "device/mtj_params.h"
+
+namespace tcim::device {
+
+/// All electrical scalars of one characterized MTJ cell.
+struct MtjElectrical {
+  // Resistances at the read operating point [Ohm].
+  double r_p = 0.0;
+  double r_ap = 0.0;
+
+  // Single-cell READ: bit-line currents and sensing [A].
+  double i_read_1 = 0.0;  ///< cell stores '1' (P)
+  double i_read_0 = 0.0;  ///< cell stores '0' (AP)
+  double read_reference = 0.0;
+  double read_margin = 0.0;  ///< min distance of a level to the reference
+
+  // Two-cell AND (double word-line activation) [A].
+  double i_and_11 = 0.0;
+  double i_and_10 = 0.0;
+  double i_and_00 = 0.0;
+  double and_reference = 0.0;
+  double and_margin = 0.0;
+
+  // WRITE path.
+  double write_current = 0.0;    ///< worst-case (smaller) polarity [A]
+  double switching_time = 0.0;   ///< LLG transient at write_current [s]
+  double write_energy_bit = 0.0; ///< V_write * I * t_switch [J]
+
+  // Context.
+  double critical_current = 0.0;
+  double thermal_stability = 0.0;
+};
+
+/// Facade over BrinkmanModel + LlgSolver.
+class MtjDevice {
+ public:
+  explicit MtjDevice(const MtjParams& params);
+
+  [[nodiscard]] const MtjParams& params() const noexcept { return params_; }
+  [[nodiscard]] const BrinkmanModel& brinkman() const noexcept {
+    return brinkman_;
+  }
+  [[nodiscard]] const LlgSolver& llg() const noexcept { return llg_; }
+
+  /// Cell current when `cell_voltage` is applied across the series
+  /// access-transistor + MTJ path; the MTJ bias is solved
+  /// self-consistently against the Brinkman R(V).
+  [[nodiscard]] double CellCurrent(MtjState state,
+                                   double cell_voltage) const;
+
+  /// Full characterization (computed once, cached).
+  [[nodiscard]] const MtjElectrical& Characterize() const;
+
+ private:
+  MtjParams params_;
+  BrinkmanModel brinkman_;
+  LlgSolver llg_;
+  mutable bool cached_ = false;
+  mutable MtjElectrical electrical_;
+};
+
+}  // namespace tcim::device

@@ -1,0 +1,31 @@
+#include "device/mtj_params.h"
+
+#include <stdexcept>
+
+namespace tcim::device {
+
+void MtjParams::Validate() const {
+  const auto check = [](bool ok, const char* what) {
+    if (!ok) {
+      throw std::invalid_argument(std::string("MtjParams: ") + what);
+    }
+  };
+  check(surface_length > 0 && surface_width > 0, "surface must be positive");
+  check(resistance_area_product > 0, "RA must be positive");
+  check(oxide_thickness > 0, "oxide thickness must be positive");
+  check(tmr > 0, "TMR must be positive");
+  check(saturation_magnetization > 0, "Ms must be positive");
+  check(gilbert_damping > 0 && gilbert_damping < 1, "alpha must be in (0,1)");
+  check(anisotropy_field > 0, "Hk must be positive");
+  check(temperature > 0, "temperature must be positive");
+  check(free_layer_thickness > 0, "free layer thickness must be positive");
+  check(spin_polarization > 0 && spin_polarization <= 1,
+        "polarization must be in (0,1]");
+  check(barrier_height_ev > 0, "barrier height must be positive");
+  check(read_voltage > 0 && write_voltage > read_voltage,
+        "need 0 < V_read < V_write");
+}
+
+MtjParams PaperMtjParams() noexcept { return MtjParams{}; }
+
+}  // namespace tcim::device

@@ -1,0 +1,58 @@
+// MTJ device parameters — paper Table I, verbatim, plus the handful of
+// quantities any compact model additionally needs (free-layer
+// thickness, spin polarization, barrier height) with documented
+// defaults taken from the literature the paper builds on ([8][15]).
+//
+// All values SI.
+#pragma once
+
+#include <cstdint>
+
+namespace tcim::device {
+
+struct MtjParams {
+  // --- Table I, verbatim ---------------------------------------------------
+  double surface_length = 40e-9;        ///< MTJ surface length [m]
+  double surface_width = 40e-9;         ///< MTJ surface width [m]
+  double spin_hall_angle = 0.3;         ///< SHE efficiency (SOT-assist)
+  double resistance_area_product = 1e-12;  ///< RA [Ohm * m^2]
+  double oxide_thickness = 0.82e-9;     ///< MgO barrier thickness [m]
+  double tmr = 1.0;                     ///< TMR ratio (100%)
+  double saturation_magnetization = 1e6;  ///< Ms [A/m]
+  double gilbert_damping = 0.03;        ///< alpha
+  double anisotropy_field = 4.5e5;      ///< Hk (perpendicular) [A/m]
+  double temperature = 300.0;           ///< T [K]
+
+  // --- standard complements (not in Table I; see file comment) -------------
+  double free_layer_thickness = 1.0e-9;  ///< t_f [m]
+  double spin_polarization = 0.6;        ///< P of the fixed layer
+  /// Effective MgO barrier height from Brinkman fits of CoFeB/MgO
+  /// junctions (~1.1-1.3 eV in the literature).
+  double barrier_height_ev = 1.2;
+  /// Phenomenological TMR(V) roll-off: TMR(V) = TMR0 / (1 + (V/V_h)^2).
+  double tmr_rolloff_volts = 0.5;
+
+  // --- operating points -----------------------------------------------------
+  double read_voltage = 0.1;   ///< V_read across BL-SL [V]
+  double write_voltage = 0.6;  ///< V_write across BL-SL [V]
+  /// On-resistance of the 1T access transistor in series with the MTJ
+  /// (45nm-class, near-minimum width). Limits the cell current.
+  double access_resistance = 1.5e3;
+
+  /// Junction area [m^2] (rectangular cell, as Table I implies 40x40).
+  [[nodiscard]] double Area() const noexcept {
+    return surface_length * surface_width;
+  }
+  /// Free layer volume [m^3].
+  [[nodiscard]] double Volume() const noexcept {
+    return Area() * free_layer_thickness;
+  }
+
+  /// Throws std::invalid_argument if any parameter is non-physical.
+  void Validate() const;
+};
+
+/// The exact Table I configuration.
+[[nodiscard]] MtjParams PaperMtjParams() noexcept;
+
+}  // namespace tcim::device

@@ -1,0 +1,65 @@
+#include "device/reliability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tcim::device {
+
+double RetentionFailureProbability(double delta, double seconds) {
+  if (delta <= 0 || seconds < 0) {
+    throw std::invalid_argument(
+        "RetentionFailureProbability: need delta > 0, seconds >= 0");
+  }
+  const double rate = std::exp(-delta) / kAttemptTime;
+  return -std::expm1(-seconds * rate);
+}
+
+double ReadDisturbProbability(double delta, double i_read, double ic,
+                              double pulse_seconds) {
+  if (ic <= 0 || i_read < 0 || pulse_seconds < 0) {
+    throw std::invalid_argument(
+        "ReadDisturbProbability: non-physical arguments");
+  }
+  if (i_read >= ic) return 1.0;  // above threshold: deterministic flip
+  const double x = 1.0 - i_read / ic;
+  const double delta_eff = delta * x * x;
+  const double rate = std::exp(-delta_eff) / kAttemptTime;
+  return -std::expm1(-pulse_seconds * rate);
+}
+
+double SenseErrorProbability(double margin_amps, double sigma_amps) {
+  if (sigma_amps <= 0) {
+    throw std::invalid_argument("SenseErrorProbability: sigma must be > 0");
+  }
+  if (margin_amps <= 0) return 0.5;  // no margin: coin flip
+  // Q(x) = erfc(x / sqrt 2) / 2.
+  return 0.5 * std::erfc(margin_amps / (sigma_amps * std::sqrt(2.0)));
+}
+
+AndReliability AndBitErrorRate(const MtjDevice& device, double sigma_amps,
+                               double pulse_seconds) {
+  const MtjElectrical& e = device.Characterize();
+  AndReliability r;
+  r.sense_error = SenseErrorProbability(e.and_margin, sigma_amps);
+  // Each activated cell conducts at most its read-level current.
+  r.disturb_per_cell = ReadDisturbProbability(
+      e.thermal_stability, e.i_read_1, e.critical_current, pulse_seconds);
+  // Union bound over one sense event + two cell disturbs. Summing
+  // (instead of 1 - Π(1-p)) keeps precision when the probabilities are
+  // far below double epsilon, and is exact to first order.
+  r.per_bit_error =
+      std::min(1.0, r.sense_error + 2.0 * r.disturb_per_cell);
+  return r;
+}
+
+double ExpectedCountError(double ber, std::uint64_t and_ops,
+                          std::uint32_t slice_bits) {
+  if (ber < 0 || ber > 1) {
+    throw std::invalid_argument("ExpectedCountError: ber must be in [0,1]");
+  }
+  return ber * static_cast<double>(and_ops) *
+         static_cast<double>(slice_bits);
+}
+
+}  // namespace tcim::device

@@ -1,0 +1,66 @@
+// STT-MRAM reliability models for the computational array — the
+// device-level failure mechanisms that bound how aggressively the
+// READ/AND sensing of Fig. 1 can be driven (the paper's device
+// methodology builds on the radiation/soft-error analysis of [15];
+// these are the standard thermal-activation and sense-noise models of
+// that literature).
+//
+// Three mechanisms:
+//  * retention — spontaneous thermal switching of an idle cell over
+//    time t: P = 1 - exp(-t/tau0 * exp(-Delta));
+//  * read disturb — a read/AND current I < Ic lowers the effective
+//    barrier to Delta * (1 - I/Ic): repeated sensing can flip the
+//    cell;
+//  * sense error — Gaussian noise on the bit-line current against the
+//    reference margin: P = Q(margin / sigma).
+//
+// AndBitErrorRate combines them into the per-bit error probability of
+// one in-memory AND — the quantity an architecture-level ECC/refresh
+// policy would be provisioned against.
+#pragma once
+
+#include "device/mtj_device.h"
+
+namespace tcim::device {
+
+/// Thermal attempt time of the macrospin [s] (standard 1 ns).
+inline constexpr double kAttemptTime = 1e-9;
+
+/// P(cell flips spontaneously within `seconds`) given stability Delta.
+[[nodiscard]] double RetentionFailureProbability(double delta,
+                                                 double seconds);
+
+/// P(cell flips during one sensing event of duration `pulse_seconds`
+/// at read current `i_read` against critical current `ic`), via the
+/// current-lowered barrier Delta_eff = delta * (1 - i_read/ic)^2
+/// (Koch/Li-Zhang barrier scaling; exponent 2 is the standard
+/// intermediate-regime choice).
+[[nodiscard]] double ReadDisturbProbability(double delta, double i_read,
+                                            double ic,
+                                            double pulse_seconds);
+
+/// P(comparator resolves the wrong side) for a sense margin
+/// `margin_amps` under Gaussian bit-line current noise of standard
+/// deviation `sigma_amps`: Q(margin/sigma).
+[[nodiscard]] double SenseErrorProbability(double margin_amps,
+                                           double sigma_amps);
+
+/// Per-bit error probability of one dual-row AND: the sense error at
+/// the AND margin plus the disturb probability of the two activated
+/// cells (each carrying its read-level current).
+struct AndReliability {
+  double sense_error = 0.0;
+  double disturb_per_cell = 0.0;
+  double per_bit_error = 0.0;  ///< combined (union bound)
+};
+[[nodiscard]] AndReliability AndBitErrorRate(const MtjDevice& device,
+                                             double sigma_amps,
+                                             double pulse_seconds);
+
+/// Expected absolute error of a TC run that issues `and_ops` slice
+/// ANDs of `slice_bits` bits each, at per-bit error rate `ber`
+/// (each bit error perturbs the accumulated count by +-1).
+[[nodiscard]] double ExpectedCountError(double ber, std::uint64_t and_ops,
+                                        std::uint32_t slice_bits);
+
+}  // namespace tcim::device

@@ -1,0 +1,77 @@
+// Registry of the paper's evaluation datasets (Table II) with every
+// number the paper reports about them (Tables II-V, Fig. 5/6), plus
+// synthetic stand-in generation.
+//
+// The SNAP files themselves are not redistributable and this
+// environment is offline, so by default each dataset is *synthesized*
+// by a generator family matched to its structure (DESIGN.md §3). If a
+// real SNAP edge list is present under $TCIM_DATA_DIR (e.g.
+// "$TCIM_DATA_DIR/roadNet-PA.txt"), it is loaded instead and the
+// instance is flagged `is_real`.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace tcim::graph {
+
+enum class PaperDataset : std::uint8_t {
+  kEgoFacebook,
+  kEmailEnron,
+  kComAmazon,
+  kComDblp,
+  kComYoutube,
+  kRoadNetPa,
+  kRoadNetTx,
+  kRoadNetCa,
+  kComLiveJournal,
+};
+
+/// Values < 0 mean "not reported" (the paper's N/A cells).
+struct PaperRef {
+  PaperDataset id;
+  const char* name;       // SNAP name, also the TCIM_DATA_DIR filename stem
+  std::uint64_t vertices;  // Table II
+  std::uint64_t edges;     // Table II
+  std::uint64_t triangles; // Table II
+  double slice_mb;         // Table III (valid slice data size)
+  double valid_slice_pct;  // Table IV (percentage of valid slices)
+  double cpu_s;            // Table V: CPU (Spark GraphX, E5430)
+  double gpu_s;            // Table V: GPU [3]
+  double fpga_s;           // Table V: FPGA [3]
+  double wo_pim_s;         // Table V: This work w/o PIM
+  double tcim_s;           // Table V: TCIM
+  double fpga_energy_ratio;  // Fig. 6: FPGA energy normalized to TCIM
+  bool is_road;            // generator family selector
+};
+
+/// All nine datasets in the paper's table order.
+[[nodiscard]] std::span<const PaperRef> AllPaperRefs();
+[[nodiscard]] const PaperRef& GetPaperRef(PaperDataset id);
+[[nodiscard]] const PaperRef& GetPaperRefByName(const std::string& name);
+
+/// A concrete graph instance for one dataset.
+struct DatasetInstance {
+  PaperDataset id;
+  Graph graph;
+  bool is_real = false;  // loaded from a real SNAP file
+  double scale = 1.0;    // applied to vertices/edges when synthesized
+  std::string source;    // generator description or file path
+};
+
+/// Synthesizes the stand-in at the given scale in (0, 1]. Scale
+/// multiplies both V and E targets (mean degree preserved); the two
+/// smallest graphs ignore scale (always full size, they are cheap).
+[[nodiscard]] DatasetInstance SynthesizePaperGraph(PaperDataset id,
+                                                   double scale,
+                                                   std::uint64_t seed);
+
+/// Loads "$TCIM_DATA_DIR/<name>.txt" if it exists, else synthesizes.
+[[nodiscard]] DatasetInstance LoadOrSynthesize(PaperDataset id, double scale,
+                                               std::uint64_t seed);
+
+}  // namespace tcim::graph

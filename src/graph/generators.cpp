@@ -1,0 +1,425 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace tcim::graph {
+namespace {
+
+using util::Xoshiro256;
+
+/// Accumulates distinct normalized (u<v) edges across generation
+/// rounds without a hash set: candidates are sorted, deduplicated and
+/// merged into the sorted accepted list. Lets R-MAT / G(n,m) hit an
+/// edge target within ~1% on multi-million-edge graphs cheaply.
+class DistinctEdgeAccumulator {
+ public:
+  explicit DistinctEdgeAccumulator(std::uint64_t target)
+      : target_(target) {}
+
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return accepted_.size();
+  }
+  [[nodiscard]] bool Done() const noexcept {
+    return accepted_.size() >= target_;
+  }
+  [[nodiscard]] std::uint64_t Remaining() const noexcept {
+    return Done() ? 0 : target_ - accepted_.size();
+  }
+
+  void AddCandidate(VertexId u, VertexId v) {
+    if (u == v) return;
+    if (u > v) std::swap(u, v);
+    batch_.push_back((static_cast<std::uint64_t>(u) << 32) | v);
+  }
+
+  void MergeBatch() {
+    std::sort(batch_.begin(), batch_.end());
+    batch_.erase(std::unique(batch_.begin(), batch_.end()), batch_.end());
+    std::vector<std::uint64_t> merged;
+    merged.reserve(accepted_.size() + batch_.size());
+    std::set_union(accepted_.begin(), accepted_.end(), batch_.begin(),
+                   batch_.end(), std::back_inserter(merged));
+    accepted_ = std::move(merged);
+    if (accepted_.size() > target_) accepted_.resize(target_);
+    batch_.clear();
+  }
+
+  void EmitInto(GraphBuilder& builder) const {
+    for (const std::uint64_t packed : accepted_) {
+      builder.AddEdge(static_cast<VertexId>(packed >> 32),
+                      static_cast<VertexId>(packed & 0xFFFFFFFFULL));
+    }
+  }
+
+ private:
+  std::uint64_t target_;
+  std::vector<std::uint64_t> accepted_;
+  std::vector<std::uint64_t> batch_;
+};
+
+std::uint64_t MaxEdges(VertexId n) {
+  return static_cast<std::uint64_t>(n) * (n - 1) / 2;
+}
+
+}  // namespace
+
+Graph Complete(VertexId n) {
+  GraphBuilder b(n);
+  b.ReserveEdges(MaxEdges(n));
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) b.AddEdge(u, v);
+  }
+  return std::move(b).Build();
+}
+
+Graph Cycle(VertexId n) {
+  if (n < 3) throw std::invalid_argument("Cycle: need n >= 3");
+  GraphBuilder b(n);
+  for (VertexId v = 0; v < n; ++v) b.AddEdge(v, (v + 1) % n);
+  return std::move(b).Build();
+}
+
+Graph Path(VertexId n) {
+  GraphBuilder b(n);
+  for (VertexId v = 0; v + 1 < n; ++v) b.AddEdge(v, v + 1);
+  return std::move(b).Build();
+}
+
+Graph Star(VertexId n) {
+  if (n < 1) throw std::invalid_argument("Star: need n >= 1");
+  GraphBuilder b(n);
+  for (VertexId v = 1; v < n; ++v) b.AddEdge(0, v);
+  return std::move(b).Build();
+}
+
+Graph Wheel(VertexId n) {
+  if (n < 4) throw std::invalid_argument("Wheel: need n >= 4");
+  GraphBuilder b(n);
+  for (VertexId v = 1; v < n; ++v) {
+    b.AddEdge(0, v);
+    b.AddEdge(v, v + 1 == n ? 1 : v + 1);
+  }
+  return std::move(b).Build();
+}
+
+Graph GridLattice(VertexId width, VertexId height) {
+  const std::uint64_t n64 = static_cast<std::uint64_t>(width) * height;
+  if (n64 > 0xFFFFFFFFULL) {
+    throw std::invalid_argument("GridLattice: too many vertices");
+  }
+  const auto n = static_cast<VertexId>(n64);
+  GraphBuilder b(n);
+  for (VertexId y = 0; y < height; ++y) {
+    for (VertexId x = 0; x < width; ++x) {
+      const VertexId v = y * width + x;
+      if (x + 1 < width) b.AddEdge(v, v + 1);
+      if (y + 1 < height) b.AddEdge(v, v + width);
+    }
+  }
+  return std::move(b).Build();
+}
+
+Graph CompleteBipartite(VertexId a, VertexId b_count) {
+  GraphBuilder b(a + b_count);
+  for (VertexId u = 0; u < a; ++u) {
+    for (VertexId v = 0; v < b_count; ++v) b.AddEdge(u, a + v);
+  }
+  return std::move(b).Build();
+}
+
+Graph ErdosRenyi(VertexId n, std::uint64_t target_edges, std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("ErdosRenyi: need n >= 2");
+  target_edges = std::min(target_edges, MaxEdges(n));
+  Xoshiro256 rng(seed);
+  DistinctEdgeAccumulator acc(target_edges);
+  for (int round = 0; round < 64 && !acc.Done(); ++round) {
+    const std::uint64_t want = acc.Remaining() + acc.Remaining() / 8 + 16;
+    for (std::uint64_t k = 0; k < want; ++k) {
+      acc.AddCandidate(static_cast<VertexId>(rng.UniformBelow(n)),
+                       static_cast<VertexId>(rng.UniformBelow(n)));
+    }
+    acc.MergeBatch();
+  }
+  GraphBuilder b(n);
+  b.ReserveEdges(acc.size());
+  acc.EmitInto(b);
+  return std::move(b).Build();
+}
+
+Graph Rmat(VertexId n, std::uint64_t target_edges, const RmatParams& params,
+           std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("Rmat: need n >= 2");
+  const double sum = params.a + params.b + params.c + params.d;
+  if (sum < 0.99 || sum > 1.01) {
+    throw std::invalid_argument("Rmat: a+b+c+d must sum to ~1");
+  }
+  int levels = 0;
+  while ((1ULL << levels) < n) ++levels;
+  target_edges = std::min(target_edges, MaxEdges(n));
+
+  Xoshiro256 rng(seed);
+  DistinctEdgeAccumulator acc(target_edges);
+  for (int round = 0; round < 64 && !acc.Done(); ++round) {
+    const std::uint64_t want = acc.Remaining() + acc.Remaining() / 4 + 16;
+    for (std::uint64_t k = 0; k < want; ++k) {
+      std::uint64_t u = 0;
+      std::uint64_t v = 0;
+      for (int level = 0; level < levels; ++level) {
+        // Multiplicative noise keeps expectation at (a,b,c,d) while
+        // smearing the self-similar artifacts.
+        const double na =
+            params.a * (1.0 + params.noise * (rng.UniformDouble() - 0.5));
+        const double nb =
+            params.b * (1.0 + params.noise * (rng.UniformDouble() - 0.5));
+        const double nc =
+            params.c * (1.0 + params.noise * (rng.UniformDouble() - 0.5));
+        const double nd =
+            params.d * (1.0 + params.noise * (rng.UniformDouble() - 0.5));
+        const double total = na + nb + nc + nd;
+        const double r = rng.UniformDouble() * total;
+        u <<= 1;
+        v <<= 1;
+        if (r < na) {
+          // top-left: no bits set
+        } else if (r < na + nb) {
+          v |= 1;
+        } else if (r < na + nb + nc) {
+          u |= 1;
+        } else {
+          u |= 1;
+          v |= 1;
+        }
+      }
+      if (u < n && v < n) {
+        acc.AddCandidate(static_cast<VertexId>(u), static_cast<VertexId>(v));
+      }
+    }
+    acc.MergeBatch();
+  }
+  GraphBuilder b(n);
+  b.ReserveEdges(acc.size());
+  acc.EmitInto(b);
+  return std::move(b).Build();
+}
+
+Graph HolmeKim(VertexId n, std::uint64_t target_edges, double triad_p,
+               std::uint64_t seed) {
+  if (n < 3) throw std::invalid_argument("HolmeKim: need n >= 3");
+  if (triad_p < 0.0 || triad_p > 1.0) {
+    throw std::invalid_argument("HolmeKim: triad_p must be in [0,1]");
+  }
+  target_edges = std::min(target_edges, MaxEdges(n));
+  const double avg = static_cast<double>(target_edges) / n;
+  const auto m0 =
+      static_cast<VertexId>(std::min<double>(n, std::ceil(avg) + 1));
+
+  Xoshiro256 rng(seed);
+  std::vector<std::vector<VertexId>> adj(n);
+  // Repeated-endpoint pool: vertex v appears deg(v) times; sampling it
+  // uniformly realizes preferential attachment.
+  std::vector<VertexId> pool;
+  pool.reserve(2 * target_edges);
+  std::uint64_t edges_made = 0;
+
+  const auto connect = [&](VertexId u, VertexId v) {
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+    pool.push_back(u);
+    pool.push_back(v);
+    ++edges_made;
+  };
+  const auto connected = [&](VertexId u, VertexId v) {
+    const auto& list = adj[u].size() <= adj[v].size() ? adj[u] : adj[v];
+    const VertexId probe = adj[u].size() <= adj[v].size() ? v : u;
+    return std::find(list.begin(), list.end(), probe) != list.end();
+  };
+
+  // Seed clique over the first m0 vertices.
+  for (VertexId u = 0; u < m0; ++u) {
+    for (VertexId v = u + 1; v < m0; ++v) connect(u, v);
+  }
+
+  for (VertexId v = m0; v < n; ++v) {
+    // Edges for this vertex: keep the running total on the target line.
+    const double ideal =
+        static_cast<double>(target_edges - edges_made) /
+        static_cast<double>(n - v);
+    auto k = static_cast<std::uint32_t>(ideal);
+    if (rng.UniformDouble() < ideal - k) ++k;
+    k = std::min<std::uint32_t>(std::max<std::uint32_t>(k, 1), v);
+
+    VertexId last_target = 0;
+    bool have_target = false;
+    for (std::uint32_t e = 0; e < k; ++e) {
+      VertexId t = 0;
+      bool picked = false;
+      if (have_target && rng.Bernoulli(triad_p) &&
+          !adj[last_target].empty()) {
+        // Triad-formation step: close a triangle through a random
+        // neighbour of the previous preferential target.
+        for (int attempt = 0; attempt < 4 && !picked; ++attempt) {
+          const VertexId cand = adj[last_target][rng.UniformBelow(
+              adj[last_target].size())];
+          if (cand != v && !connected(v, cand)) {
+            t = cand;
+            picked = true;
+          }
+        }
+      }
+      for (int attempt = 0; attempt < 16 && !picked; ++attempt) {
+        const VertexId cand =
+            pool[rng.UniformBelow(pool.size())];
+        if (cand != v && !connected(v, cand)) {
+          t = cand;
+          picked = true;
+        }
+      }
+      if (!picked) break;  // saturated neighbourhood; move on
+      connect(v, t);
+      last_target = t;
+      have_target = true;
+    }
+  }
+
+  GraphBuilder b(n);
+  b.ReserveEdges(edges_made);
+  for (VertexId u = 0; u < n; ++u) {
+    for (const VertexId v : adj[u]) {
+      if (v > u) b.AddEdge(u, v);
+    }
+  }
+  return std::move(b).Build();
+}
+
+Graph WattsStrogatz(VertexId n, std::uint32_t half_k, double beta,
+                    std::uint64_t seed) {
+  if (n < 3) throw std::invalid_argument("WattsStrogatz: need n >= 3");
+  if (half_k == 0 || 2ULL * half_k >= n) {
+    throw std::invalid_argument("WattsStrogatz: need 0 < 2*half_k < n");
+  }
+  Xoshiro256 rng(seed);
+  GraphBuilder b(n);
+  b.ReserveEdges(static_cast<std::uint64_t>(n) * half_k);
+  for (VertexId u = 0; u < n; ++u) {
+    for (std::uint32_t d = 1; d <= half_k; ++d) {
+      VertexId v = static_cast<VertexId>((u + d) % n);
+      if (rng.Bernoulli(beta)) {
+        v = static_cast<VertexId>(rng.UniformBelow(n));
+        if (v == u) v = static_cast<VertexId>((u + d) % n);
+      }
+      b.AddEdge(u, v);
+    }
+  }
+  return std::move(b).Build();
+}
+
+Graph CommunityCliques(VertexId n, std::uint64_t target_edges,
+                       const CommunityParams& params, std::uint64_t seed) {
+  const VertexId community_size = params.community_size;
+  const double inter_fraction = params.inter_fraction;
+  if (n < 4 || community_size < 3) {
+    throw std::invalid_argument(
+        "CommunityCliques: need n >= 4 and community_size >= 3");
+  }
+  if (inter_fraction < 0.0 || inter_fraction >= 1.0 ||
+      params.hub_fraction < 0.0 ||
+      inter_fraction + params.hub_fraction >= 1.0) {
+    throw std::invalid_argument(
+        "CommunityCliques: inter/hub fractions must be in [0,1) and sum "
+        "below 1");
+  }
+  target_edges = std::min(target_edges, MaxEdges(n));
+  Xoshiro256 rng(seed);
+
+  // Partition [0, n) into contiguous communities with ±25% size jitter
+  // (contiguity keeps vertex-id locality, like real ego circles
+  // crawled breadth-first).
+  std::vector<std::pair<VertexId, VertexId>> communities;  // [begin, end)
+  VertexId begin = 0;
+  std::uint64_t pair_budget = 0;
+  while (begin < n) {
+    const auto jitter = static_cast<VertexId>(
+        rng.UniformInRange(community_size * 3 / 4, community_size * 5 / 4));
+    const VertexId end = std::min<VertexId>(n, begin + std::max<VertexId>(
+                                                           3, jitter));
+    communities.emplace_back(begin, end);
+    const std::uint64_t s = end - begin;
+    pair_budget += s * (s - 1) / 2;
+    begin = end;
+  }
+
+  const double intra_target =
+      static_cast<double>(target_edges) *
+      (1.0 - inter_fraction - params.hub_fraction);
+  const double p = std::min(1.0, intra_target /
+                                     std::max<double>(1.0, pair_budget));
+
+  GraphBuilder b(n);
+  b.ReserveEdges(target_edges + target_edges / 8);
+  for (const auto& [lo, hi] : communities) {
+    for (VertexId u = lo; u < hi; ++u) {
+      for (VertexId v = u + 1; v < hi; ++v) {
+        if (rng.Bernoulli(p)) b.AddEdge(u, v);
+      }
+    }
+  }
+  const auto inter_edges =
+      static_cast<std::uint64_t>(target_edges * inter_fraction);
+  for (std::uint64_t e = 0; e < inter_edges; ++e) {
+    b.AddEdge(static_cast<VertexId>(rng.UniformBelow(n)),
+              static_cast<VertexId>(rng.UniformBelow(n)));
+  }
+  // Hub overlay: a small hub set (0.5% of vertices, >= 1) receives the
+  // hub edge budget from uniformly random sources — heavy tail without
+  // materially changing the triangle census.
+  const auto hub_edges =
+      static_cast<std::uint64_t>(target_edges * params.hub_fraction);
+  if (hub_edges > 0) {
+    const VertexId hub_count = std::max<VertexId>(1, n / 200);
+    for (std::uint64_t e = 0; e < hub_edges; ++e) {
+      // Zipf-ish hub popularity: square the uniform pick to favour the
+      // first hubs.
+      const double z = rng.UniformDouble();
+      const auto hub = static_cast<VertexId>(z * z * hub_count);
+      b.AddEdge(static_cast<VertexId>(rng.UniformBelow(n)),
+                std::min<VertexId>(hub, n - 1));
+    }
+  }
+  return std::move(b).Build();
+}
+
+Graph GeometricRoad(VertexId n, const RoadParams& params,
+                    std::uint64_t seed) {
+  if (n < 4) throw std::invalid_argument("GeometricRoad: need n >= 4");
+  const auto width =
+      static_cast<VertexId>(std::max(2.0, std::floor(std::sqrt(n))));
+  const VertexId height = (n + width - 1) / width;
+  Xoshiro256 rng(seed);
+  GraphBuilder b(width * height);
+  const auto id = [&](VertexId x, VertexId y) { return y * width + x; };
+  for (VertexId y = 0; y < height; ++y) {
+    for (VertexId x = 0; x < width; ++x) {
+      const VertexId v = id(x, y);
+      if (x + 1 < width && rng.Bernoulli(params.keep_p)) {
+        b.AddEdge(v, id(x + 1, y));
+      }
+      if (y + 1 < height && rng.Bernoulli(params.keep_p)) {
+        b.AddEdge(v, id(x, y + 1));
+      }
+      if (x + 1 < width && y + 1 < height &&
+          rng.Bernoulli(params.diag_p)) {
+        if (rng.Bernoulli(0.5)) {
+          b.AddEdge(v, id(x + 1, y + 1));
+        } else {
+          b.AddEdge(id(x + 1, y), id(x, y + 1));
+        }
+      }
+    }
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace tcim::graph

@@ -1,0 +1,103 @@
+// Synthetic graph generators.
+//
+// Two roles: (1) deterministic closed-form families (complete, cycle,
+// grid, wheel…) whose triangle counts are known analytically — the
+// backbone of the property tests; (2) random families (R-MAT,
+// Holme-Kim powerlaw-cluster, Erdős–Rényi, Watts–Strogatz, geometric
+// road lattice) used to synthesize stand-ins for the paper's SNAP
+// datasets (see datasets.h and DESIGN.md §3 for the substitution
+// rationale).
+//
+// All generators are deterministic functions of their explicit seed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace tcim::graph {
+
+// --- closed-form families (tests, examples) -------------------------------
+
+/// K_n: C(n,3) triangles.
+[[nodiscard]] Graph Complete(VertexId n);
+/// C_n (n>=3): 0 triangles for n>3, 1 for n==3.
+[[nodiscard]] Graph Cycle(VertexId n);
+/// P_n: 0 triangles.
+[[nodiscard]] Graph Path(VertexId n);
+/// K_{1,n-1}: 0 triangles.
+[[nodiscard]] Graph Star(VertexId n);
+/// Wheel W_n (hub + cycle of n-1, n>=4): n-1 triangles.
+[[nodiscard]] Graph Wheel(VertexId n);
+/// w*h grid lattice: 0 triangles.
+[[nodiscard]] Graph GridLattice(VertexId width, VertexId height);
+/// K_{a,b}: 0 triangles (bipartite).
+[[nodiscard]] Graph CompleteBipartite(VertexId a, VertexId b);
+
+// --- random families -------------------------------------------------------
+
+/// G(n, m): m distinct uniform edges (exact when feasible).
+[[nodiscard]] Graph ErdosRenyi(VertexId n, std::uint64_t target_edges,
+                               std::uint64_t seed);
+
+/// R-MAT parameters (Chakrabarti et al.); a+b+c+d must be ~1.
+struct RmatParams {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  /// Per-level multiplicative noise on (a,b,c,d); avoids the artificial
+  /// "staircase" degree plateaus of noiseless R-MAT.
+  double noise = 0.1;
+};
+
+/// R-MAT graph over the smallest power-of-two grid >= n, filtered to n.
+/// Tops up duplicates to land within ~1% of target_edges when the
+/// graph is not near-complete.
+[[nodiscard]] Graph Rmat(VertexId n, std::uint64_t target_edges,
+                         const RmatParams& params, std::uint64_t seed);
+
+/// Holme–Kim powerlaw-cluster model: preferential attachment where each
+/// added edge is followed, with probability triad_p, by a
+/// triangle-closing edge. High triad_p reproduces the strong local
+/// clustering of social graphs (ego-facebook, com-lj, ...).
+[[nodiscard]] Graph HolmeKim(VertexId n, std::uint64_t target_edges,
+                             double triad_p, std::uint64_t seed);
+
+/// Watts–Strogatz small world: ring of degree 2*half_k, rewired with
+/// probability beta.
+[[nodiscard]] Graph WattsStrogatz(VertexId n, std::uint32_t half_k,
+                                  double beta, std::uint64_t seed);
+
+/// Dense-overlapping-communities model (social/collaboration graphs):
+/// vertices are grouped into communities of ~community_size, each
+/// community is an Erdős–Rényi blob whose intra-community probability
+/// is solved from target_edges; inter_fraction of the edge budget
+/// connects random cross-community pairs, and hub_fraction attaches to
+/// a small hub set (0.5% of vertices) to reproduce heavy-tailed degree
+/// distributions. Triangle density approaches the clique bound
+/// (s-2)/3 — far above what preferential-attachment models reach at
+/// the same edge count; community_size therefore calibrates T/E.
+struct CommunityParams {
+  VertexId community_size = 60;
+  double inter_fraction = 0.05;
+  double hub_fraction = 0.0;
+};
+[[nodiscard]] Graph CommunityCliques(VertexId n, std::uint64_t target_edges,
+                                     const CommunityParams& params,
+                                     std::uint64_t seed);
+
+/// Road-network-like lattice: near-planar W×H grid with edges kept with
+/// probability keep_p and a diagonal chord added per cell with
+/// probability diag_p (the only triangle source — road networks have
+/// few triangles). Vertex ids are row-major, matching the strong id
+/// locality of the SNAP roadNet graphs.
+struct RoadParams {
+  double keep_p = 0.72;
+  double diag_p = 0.06;
+};
+[[nodiscard]] Graph GeometricRoad(VertexId n, const RoadParams& params,
+                                  std::uint64_t seed);
+
+}  // namespace tcim::graph

@@ -1,0 +1,149 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace tcim::graph {
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'T', 'C', 'I', 'M',
+                                        'G', '0', '0', '1'};
+
+[[noreturn]] void Fail(const std::string& what) {
+  throw std::runtime_error("graph::io: " + what);
+}
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T ReadPod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) Fail("truncated binary graph");
+  return value;
+}
+
+}  // namespace
+
+Graph ReadSnapEdgeList(std::istream& in) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> raw_edges;
+  std::unordered_map<std::uint64_t, VertexId> remap;
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t first =
+        line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#' || line[first] == '%') continue;
+    const char* p = line.c_str() + first;
+    char* end = nullptr;
+    const unsigned long long u = std::strtoull(p, &end, 10);
+    if (end == p) Fail("unparsable line " + std::to_string(line_no));
+    p = end;
+    const unsigned long long v = std::strtoull(p, &end, 10);
+    if (end == p) Fail("missing second id on line " + std::to_string(line_no));
+    raw_edges.emplace_back(u, v);
+    remap.try_emplace(u, 0);
+    remap.try_emplace(v, 0);
+  }
+
+  // Dense relabeling in first-appearance order of the *sorted* id set
+  // keeps the mapping deterministic regardless of edge order.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(remap.size());
+  for (const auto& [id, _] : remap) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (VertexId dense = 0; dense < ids.size(); ++dense) {
+    remap[ids[dense]] = dense;
+  }
+
+  GraphBuilder builder(static_cast<VertexId>(ids.size()));
+  builder.ReserveEdges(raw_edges.size());
+  for (const auto& [u, v] : raw_edges) {
+    builder.AddEdge(remap[u], remap[v]);
+  }
+  return std::move(builder).Build();
+}
+
+Graph ReadSnapEdgeListFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) Fail("cannot open " + path);
+  return ReadSnapEdgeList(in);
+}
+
+void WriteSnapEdgeList(const Graph& g, std::ostream& out) {
+  out << "# Undirected graph, " << g.num_vertices() << " vertices, "
+      << g.num_edges() << " edges\n";
+  out << "# FromNodeId\tToNodeId\n";
+  g.ForEachEdge([&](VertexId u, VertexId v) { out << u << '\t' << v << '\n'; });
+}
+
+void WriteBinary(const Graph& g, std::ostream& out) {
+  out.write(kMagic.data(), kMagic.size());
+  WritePod(out, static_cast<std::uint32_t>(g.num_vertices()));
+  WritePod(out, static_cast<std::uint64_t>(g.adjacency().size()));
+  out.write(reinterpret_cast<const char*>(g.offsets().data()),
+            static_cast<std::streamsize>(g.offsets().size() *
+                                         sizeof(std::uint64_t)));
+  out.write(reinterpret_cast<const char*>(g.adjacency().data()),
+            static_cast<std::streamsize>(g.adjacency().size() *
+                                         sizeof(VertexId)));
+  if (!out) Fail("binary write failed");
+}
+
+void WriteBinaryFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) Fail("cannot open " + path + " for writing");
+  WriteBinary(g, out);
+}
+
+Graph ReadBinary(std::istream& in) {
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) Fail("bad magic in binary graph");
+  const auto n = ReadPod<std::uint32_t>(in);
+  const auto arcs = ReadPod<std::uint64_t>(in);
+  if (arcs % 2 != 0) Fail("binary graph arc count must be even");
+
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n) + 1);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>(offsets.size() *
+                                       sizeof(std::uint64_t)));
+  std::vector<VertexId> adjacency(arcs);
+  in.read(reinterpret_cast<char*>(adjacency.data()),
+          static_cast<std::streamsize>(adjacency.size() * sizeof(VertexId)));
+  if (!in) Fail("truncated binary graph");
+
+  // Rebuild through the builder to re-establish all invariants rather
+  // than trusting the file.
+  GraphBuilder builder(n);
+  builder.ReserveEdges(arcs / 2);
+  for (VertexId u = 0; u < n; ++u) {
+    if (offsets[u] > offsets[u + 1] || offsets[u + 1] > arcs) {
+      Fail("corrupt offsets in binary graph");
+    }
+    for (std::uint64_t e = offsets[u]; e < offsets[u + 1]; ++e) {
+      if (adjacency[e] > u) builder.AddEdge(u, adjacency[e]);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Graph ReadBinaryFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) Fail("cannot open " + path);
+  return ReadBinary(in);
+}
+
+}  // namespace tcim::graph

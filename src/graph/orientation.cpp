@@ -1,0 +1,120 @@
+#include "graph/orientation.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tcim::graph {
+
+std::string ToString(Orientation o) {
+  switch (o) {
+    case Orientation::kUpper:
+      return "upper";
+    case Orientation::kDegree:
+      return "degree";
+    case Orientation::kFullSymmetric:
+      return "full";
+  }
+  return "?";
+}
+
+std::uint64_t OrientedCsr::MaxOutDegree() const noexcept {
+  std::uint64_t best = 0;
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    best = std::max(best, offsets[v + 1] - offsets[v]);
+  }
+  return best;
+}
+
+namespace {
+
+OrientedCsr OrientUpper(const Graph& g) {
+  OrientedCsr out;
+  out.num_vertices = g.num_vertices();
+  out.orientation = Orientation::kUpper;
+  out.offsets.assign(static_cast<std::size_t>(g.num_vertices()) + 1, 0);
+  out.neighbors.reserve(g.num_edges());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const VertexId v : g.Neighbors(u)) {
+      if (v > u) out.neighbors.push_back(v);
+    }
+    out.offsets[u + 1] = out.neighbors.size();
+  }
+  return out;
+}
+
+OrientedCsr OrientFull(const Graph& g) {
+  OrientedCsr out;
+  out.num_vertices = g.num_vertices();
+  out.orientation = Orientation::kFullSymmetric;
+  out.offsets.assign(g.offsets().begin(), g.offsets().end());
+  out.neighbors.assign(g.adjacency().begin(), g.adjacency().end());
+  return out;
+}
+
+OrientedCsr OrientDegree(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  // rank[old] = position of old in the (degree, id)-ascending order.
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    const auto da = g.Degree(a);
+    const auto db = g.Degree(b);
+    return da != db ? da < db : a < b;
+  });
+  std::vector<VertexId> rank(n);
+  for (VertexId pos = 0; pos < n; ++pos) {
+    rank[order[pos]] = pos;
+  }
+
+  OrientedCsr out;
+  out.num_vertices = n;
+  out.orientation = Orientation::kDegree;
+  out.relabel = rank;
+  out.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  // Count arcs per relabelled source, then fill and sort rows.
+  for (VertexId u = 0; u < n; ++u) {
+    const VertexId ru = rank[u];
+    for (const VertexId v : g.Neighbors(u)) {
+      if (rank[v] > ru) {
+        ++out.offsets[static_cast<std::size_t>(ru) + 1];
+      }
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    out.offsets[v + 1] += out.offsets[v];
+  }
+  out.neighbors.assign(g.num_edges(), 0);
+  std::vector<std::uint64_t> cursor(out.offsets.begin(),
+                                    out.offsets.end() - 1);
+  for (VertexId u = 0; u < n; ++u) {
+    const VertexId ru = rank[u];
+    for (const VertexId v : g.Neighbors(u)) {
+      const VertexId rv = rank[v];
+      if (rv > ru) out.neighbors[cursor[ru]++] = rv;
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    std::sort(out.neighbors.begin() +
+                  static_cast<std::ptrdiff_t>(out.offsets[v]),
+              out.neighbors.begin() +
+                  static_cast<std::ptrdiff_t>(out.offsets[v + 1]));
+  }
+  return out;
+}
+
+}  // namespace
+
+OrientedCsr Orient(const Graph& g, Orientation o) {
+  switch (o) {
+    case Orientation::kUpper:
+      return OrientUpper(g);
+    case Orientation::kDegree:
+      return OrientDegree(g);
+    case Orientation::kFullSymmetric:
+      return OrientFull(g);
+  }
+  return OrientUpper(g);
+}
+
+}  // namespace tcim::graph

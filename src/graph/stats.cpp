@@ -1,0 +1,99 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/rng.h"
+
+namespace tcim::graph {
+
+DegreeSummary SummarizeDegrees(const Graph& g) {
+  DegreeSummary s;
+  const VertexId n = g.num_vertices();
+  if (n == 0) return s;
+  std::vector<std::uint64_t> degrees(n);
+  for (VertexId v = 0; v < n; ++v) {
+    degrees[v] = g.Degree(v);
+    if (degrees[v] == 0) ++s.isolated_vertices;
+  }
+  std::sort(degrees.begin(), degrees.end());
+  s.min = degrees.front();
+  s.max = degrees.back();
+  s.mean = g.mean_degree();
+  s.median = degrees[n / 2];
+  s.p99 = degrees[static_cast<std::size_t>(
+      std::min<std::uint64_t>(n - 1, n * 99ULL / 100ULL))];
+  return s;
+}
+
+std::uint64_t WedgeCount(const Graph& g) {
+  std::uint64_t wedges = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::uint64_t d = g.Degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  return wedges;
+}
+
+double Transitivity(const Graph& g, std::uint64_t triangles) {
+  const std::uint64_t wedges = WedgeCount(g);
+  return wedges == 0 ? 0.0
+                     : 3.0 * static_cast<double>(triangles) /
+                           static_cast<double>(wedges);
+}
+
+double AverageLocalClustering(const Graph& g, std::uint64_t max_samples,
+                              std::uint64_t seed) {
+  const VertexId n = g.num_vertices();
+  if (n == 0) return 0.0;
+  util::Xoshiro256 rng(seed);
+  const bool exhaustive = max_samples >= n;
+  const std::uint64_t samples = exhaustive ? n : max_samples;
+
+  double total = 0.0;
+  std::uint64_t counted = 0;
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    const VertexId v = exhaustive ? static_cast<VertexId>(s)
+                                  : static_cast<VertexId>(rng.UniformBelow(n));
+    const auto nbrs = g.Neighbors(v);
+    const std::uint64_t d = nbrs.size();
+    if (d < 2) continue;
+    // Count edges among neighbours by merge-intersecting each
+    // neighbour's adjacency with nbrs.
+    std::uint64_t links = 0;
+    for (const VertexId u : nbrs) {
+      const auto un = g.Neighbors(u);
+      std::size_t a = 0;
+      std::size_t b = 0;
+      while (a < nbrs.size() && b < un.size()) {
+        if (nbrs[a] < un[b]) {
+          ++a;
+        } else if (nbrs[a] > un[b]) {
+          ++b;
+        } else {
+          ++links;
+          ++a;
+          ++b;
+        }
+      }
+    }
+    // Each neighbour-neighbour edge found twice (once per endpoint).
+    total += static_cast<double>(links) / static_cast<double>(d * (d - 1));
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+std::vector<std::uint64_t> Log2DegreeHistogram(const Graph& g) {
+  std::vector<std::uint64_t> hist;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::uint64_t d = g.Degree(v);
+    const std::size_t bucket =
+        d == 0 ? 0 : 1 + static_cast<std::size_t>(std::bit_width(d) - 1);
+    if (bucket >= hist.size()) hist.resize(bucket + 1, 0);
+    ++hist[bucket];
+  }
+  return hist;
+}
+
+}  // namespace tcim::graph

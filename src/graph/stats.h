@@ -1,0 +1,46 @@
+// Structural graph statistics: degree summaries, wedge counts,
+// clustering/transitivity — the metrics the paper's intro motivates TC
+// with ("the first fundamental step in calculating metrics such as
+// clustering coefficient and transitivity ratio").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tcim::graph {
+
+struct DegreeSummary {
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double mean = 0.0;
+  std::uint64_t median = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t isolated_vertices = 0;
+};
+
+[[nodiscard]] DegreeSummary SummarizeDegrees(const Graph& g);
+
+/// Number of wedges (paths of length 2): Σ_v d(v)·(d(v)-1)/2.
+[[nodiscard]] std::uint64_t WedgeCount(const Graph& g);
+
+/// Transitivity ratio (a.k.a. global clustering coefficient):
+/// 3·triangles / wedges. Caller supplies the triangle count (from any
+/// of the TC implementations in this repo).
+[[nodiscard]] double Transitivity(const Graph& g, std::uint64_t triangles);
+
+/// Mean of the local clustering coefficients over up to `max_samples`
+/// uniformly sampled vertices (exact when max_samples >= n).
+/// Deterministic for a fixed seed.
+[[nodiscard]] double AverageLocalClustering(const Graph& g,
+                                            std::uint64_t max_samples,
+                                            std::uint64_t seed);
+
+/// Histogram of degrees bucketed by floor(log2(d)) + an underflow
+/// bucket for d==0; bucket[i] counts vertices with degree in
+/// [2^(i-1), 2^i) for i>=1. Used to eyeball power-law shape of the
+/// synthetic social graphs.
+[[nodiscard]] std::vector<std::uint64_t> Log2DegreeHistogram(const Graph& g);
+
+}  // namespace tcim::graph

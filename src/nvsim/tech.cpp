@@ -1,0 +1,52 @@
+#include "nvsim/tech.h"
+
+#include <stdexcept>
+
+namespace tcim::nvsim {
+
+void TechnologyParams::Validate() const {
+  const auto check = [](bool ok, const char* what) {
+    if (!ok) {
+      throw std::invalid_argument(std::string("TechnologyParams: ") + what);
+    }
+  };
+  check(feature_size > 0, "feature size must be positive");
+  check(vdd > 0, "vdd must be positive");
+  check(fo4_delay > 0, "fo4 delay must be positive");
+  check(wire_res_per_m > 0 && wire_cap_per_m > 0, "wire RC must be positive");
+  check(cell_area_f2 > 0, "cell area must be positive");
+  check(wl_cap_per_cell > 0 && bl_cap_per_cell > 0,
+        "cell caps must be positive");
+  check(sa_base_latency > 0 && sa_nominal_margin > 0,
+        "SA parameters must be positive");
+}
+
+TechnologyParams Default45nm() noexcept { return TechnologyParams{}; }
+
+namespace {
+
+/// First-order node scaling from the 45nm anchor by linear factor s
+/// (s > 1 = older node). Wire resistance per meter scales ~1/s^2
+/// (cross-section), capacitance per meter is roughly constant, device
+/// delay and caps scale ~s.
+TechnologyParams ScaleFrom45(double s) noexcept {
+  TechnologyParams t = Default45nm();
+  t.feature_size *= s;
+  t.fo4_delay *= s;
+  t.vdd *= (s >= 1.0 ? 1.0 + 0.1 * (s - 1.0) : 1.0 - 0.15 * (1.0 - s));
+  t.wire_res_per_m /= s * s;
+  t.wl_cap_per_cell *= s;
+  t.bl_cap_per_cell *= s;
+  t.sa_energy *= s;
+  t.decoder_energy *= s;
+  t.io_energy_per_bit *= s;
+  return t;
+}
+
+}  // namespace
+
+TechnologyParams Scaled65nm() noexcept { return ScaleFrom45(65.0 / 45.0); }
+
+TechnologyParams Scaled32nm() noexcept { return ScaleFrom45(32.0 / 45.0); }
+
+}  // namespace tcim::nvsim

@@ -1,0 +1,63 @@
+// 45nm-class technology parameters for the NVSim-style array model.
+//
+// The paper characterizes its circuits with the 45nm FreePDK CMOS
+// library and feeds device results into NVSim [16]; this header plays
+// the role of NVSim's technology file. Values are calibrated to the
+// FreePDK45 / NVSim 45nm defaults (wire RC, FO4, sense-amp class
+// numbers) — the tests pin sanity ranges rather than exact values.
+#pragma once
+
+#include <cstdint>
+
+namespace tcim::nvsim {
+
+struct TechnologyParams {
+  double feature_size = 45e-9;     ///< F [m]
+  double vdd = 1.1;                ///< core supply [V]
+  double fo4_delay = 17e-12;       ///< FO4 inverter delay [s]
+
+  // Interconnect (intermediate metal), per meter.
+  double wire_res_per_m = 2.5e6;   ///< [Ohm/m]  (2.5 Ohm/um)
+  double wire_cap_per_m = 0.20e-9; ///< [F/m]    (0.20 fF/um)
+  /// Repeated global wire velocity used for H-tree estimates [s/m].
+  double global_wire_delay_per_m = 80e-12 / 1e-3;  // 80 ps/mm
+
+  // 1T1R STT-MRAM cell.
+  double cell_area_f2 = 40.0;      ///< cell area [F^2]
+  double wl_cap_per_cell = 0.10e-15;  ///< access gate load on WL [F]
+  double bl_cap_per_cell = 0.05e-15;  ///< drain junction load on BL [F]
+
+  // Sense amplifier (current-mode, with READ and AND references,
+  // Fig. 4 right).
+  double sa_base_latency = 0.5e-9;  ///< resolve time at nominal margin [s]
+  double sa_nominal_margin = 5e-6;  ///< margin the base latency assumes [A]
+  double sa_energy = 5e-15;         ///< per sense event [J]
+  double sa_leakage = 2e-6;         ///< per SA [W]
+
+  // Row decoder / drivers.
+  double decoder_stage_delay_factor = 1.5;  ///< stages = f * log2(rows)
+  double decoder_energy = 20e-15;   ///< per activation [J]
+  double wl_driver_delay = 50e-12;  ///< driver insertion delay [s]
+  double write_driver_energy_overhead = 0.2;  ///< fraction of cell E_write
+
+  // Background leakage of one subarray's periphery other than SAs [W].
+  double subarray_ctrl_leakage = 20e-6;
+
+  // Per-access controller/buffer overhead at the chip edge.
+  double io_fixed_latency = 0.5e-9;  ///< [s]
+  double io_energy_per_bit = 2e-15;  ///< [J/bit]
+
+  void Validate() const;
+};
+
+/// The default 45nm configuration used throughout the repo.
+[[nodiscard]] TechnologyParams Default45nm() noexcept;
+
+/// Scaled technology presets for cross-node exploration. Constant-
+/// field-style scaling of the 45nm anchor: wire RC per meter worsens
+/// (resistance grows faster than capacitance shrinks), gate delay and
+/// cell caps improve with the node.
+[[nodiscard]] TechnologyParams Scaled65nm() noexcept;
+[[nodiscard]] TechnologyParams Scaled32nm() noexcept;
+
+}  // namespace tcim::nvsim

@@ -1,0 +1,32 @@
+#include "pim/bit_counter.h"
+
+#include <stdexcept>
+
+#include "bitmatrix/popcount.h"
+
+namespace tcim::pim {
+
+BitCounter::BitCounter(const BitCounterParams& params) : params_(params) {
+  if (params_.word_bits == 0 || params_.word_bits % 8 != 0) {
+    throw std::invalid_argument(
+        "BitCounter: word_bits must be a positive multiple of 8 (LUT bytes)");
+  }
+}
+
+std::uint32_t BitCounter::Feed(std::uint64_t word) {
+  const auto count =
+      static_cast<std::uint32_t>(bit::PopcountLut8(word));
+  total_ += count;
+  ++words_processed_;
+  return count;
+}
+
+std::uint64_t BitCounter::FeedWords(std::span<const std::uint64_t> words) {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t w : words) {
+    sum += Feed(w);
+  }
+  return sum;
+}
+
+}  // namespace tcim::pim

@@ -1,0 +1,149 @@
+#include "pim/computational_array.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tcim::pim {
+
+ComputationalArray::ComputationalArray(const nvsim::ArrayConfig& config,
+                                       const BitCounterParams& counter_params)
+    : config_(config),
+      words_per_slice_((config.access_width_bits + 63) / 64),
+      num_subarrays_(config.total_subarrays()),
+      slots_per_subarray_(static_cast<std::uint64_t>(config.subarray_rows) *
+                          config.slices_per_row()),
+      total_slots_(num_subarrays_ * slots_per_subarray_),
+      counter_(counter_params) {
+  config_.Validate();
+  storage_.assign(total_slots_ * words_per_slice_, 0);
+}
+
+std::uint64_t ComputationalArray::FlatIndex(const SliceAddr& addr) const {
+  CheckAddr(addr);
+  return (static_cast<std::uint64_t>(addr.subarray) * config_.subarray_rows +
+          addr.row) *
+             config_.slices_per_row() +
+         addr.col_group;
+}
+
+SliceAddr ComputationalArray::AddrOf(std::uint64_t flat_index) const {
+  if (flat_index >= total_slots_) {
+    throw std::out_of_range("ComputationalArray: flat index out of range");
+  }
+  SliceAddr addr;
+  addr.col_group =
+      static_cast<std::uint32_t>(flat_index % config_.slices_per_row());
+  const std::uint64_t row_major = flat_index / config_.slices_per_row();
+  addr.row = static_cast<std::uint32_t>(row_major % config_.subarray_rows);
+  addr.subarray =
+      static_cast<std::uint32_t>(row_major / config_.subarray_rows);
+  return addr;
+}
+
+void ComputationalArray::CheckAddr(const SliceAddr& addr) const {
+  if (addr.subarray >= num_subarrays_ ||
+      addr.row >= config_.subarray_rows ||
+      addr.col_group >= config_.slices_per_row()) {
+    throw std::out_of_range("ComputationalArray: address out of range");
+  }
+}
+
+std::span<std::uint64_t> ComputationalArray::SlotWords(std::uint64_t flat) {
+  return {storage_.data() + flat * words_per_slice_, words_per_slice_};
+}
+
+void ComputationalArray::EnableTrace(std::size_t max_entries) {
+  tracing_ = true;
+  trace_truncated_ = false;
+  trace_capacity_ = max_entries;
+  trace_.clear();
+  trace_.reserve(std::min<std::size_t>(max_entries, 4096));
+}
+
+void ComputationalArray::DisableTrace() noexcept { tracing_ = false; }
+
+void ComputationalArray::Record(TraceEntry::Op op, const SliceAddr& a,
+                                const SliceAddr& b) {
+  if (!tracing_) return;
+  if (trace_.size() >= trace_capacity_) {
+    trace_truncated_ = true;
+    return;
+  }
+  trace_.push_back(TraceEntry{op, a, b});
+}
+
+void ComputationalArray::WriteSlice(const SliceAddr& addr,
+                                    std::span<const std::uint64_t> words) {
+  if (words.size() != words_per_slice_) {
+    throw std::invalid_argument(
+        "ComputationalArray::WriteSlice: word count mismatch");
+  }
+  // Bits beyond the access width would silently alias onto other
+  // columns in real hardware; reject them.
+  const std::uint32_t tail_bits = config_.access_width_bits % 64;
+  if (tail_bits != 0 &&
+      (words.back() >> tail_bits) != 0) {
+    throw std::invalid_argument(
+        "ComputationalArray::WriteSlice: data beyond access width");
+  }
+  const std::uint64_t flat = FlatIndex(addr);
+  auto dst = SlotWords(flat);
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = words[i];
+  ++counts_.writes;
+  Record(TraceEntry::Op::kWrite, addr);
+}
+
+std::span<const std::uint64_t> ComputationalArray::ReadSlice(
+    const SliceAddr& addr) {
+  const std::uint64_t flat = FlatIndex(addr);
+  ++counts_.reads;
+  Record(TraceEntry::Op::kRead, addr);
+  return SlotWords(flat);
+}
+
+std::uint64_t ComputationalArray::AndPopcount(const SliceAddr& a,
+                                              const SliceAddr& b) {
+  if (a.subarray != b.subarray) {
+    throw std::invalid_argument(
+        "ComputationalArray::AND: operands must share a subarray "
+        "(multi-row activation is subarray-local)");
+  }
+  if (a.col_group != b.col_group) {
+    throw std::invalid_argument(
+        "ComputationalArray::AND: operands must be column-aligned");
+  }
+  if (a.row == b.row) {
+    throw std::invalid_argument(
+        "ComputationalArray::AND: operands must be in different rows");
+  }
+  const auto wa = SlotWords(FlatIndex(a));
+  const auto wb = SlotWords(FlatIndex(b));
+  ++counts_.ands;
+  counts_.bitcount_words += words_per_slice_;
+  Record(TraceEntry::Op::kAnd, a, b);
+  std::uint64_t popcount = 0;
+  for (std::uint32_t i = 0; i < words_per_slice_; ++i) {
+    popcount += counter_.Feed(wa[i] & wb[i]);
+  }
+  return popcount;
+}
+
+std::vector<std::uint64_t> ComputationalArray::AndSlices(const SliceAddr& a,
+                                                         const SliceAddr& b) {
+  if (a.subarray != b.subarray || a.col_group != b.col_group ||
+      a.row == b.row) {
+    throw std::invalid_argument(
+        "ComputationalArray::AndSlices: operand placement violates "
+        "multi-row activation constraints");
+  }
+  const auto wa = SlotWords(FlatIndex(a));
+  const auto wb = SlotWords(FlatIndex(b));
+  ++counts_.ands;
+  std::vector<std::uint64_t> out(words_per_slice_);
+  for (std::uint32_t i = 0; i < words_per_slice_; ++i) {
+    out[i] = wa[i] & wb[i];
+  }
+  return out;
+}
+
+}  // namespace tcim::pim

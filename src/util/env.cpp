@@ -1,0 +1,41 @@
+#include "util/env.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace tcim::util {
+
+double EnvDouble(const std::string& name, double fallback, double min_value,
+                 double max_value) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') {
+    return std::clamp(fallback, min_value, max_value);
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(raw, &end);
+  if (end == raw) {
+    return std::clamp(fallback, min_value, max_value);
+  }
+  return std::clamp(parsed, min_value, max_value);
+}
+
+std::uint64_t EnvU64(const std::string& name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw, &end, 10);
+  if (end == raw) {
+    return fallback;
+  }
+  return parsed;
+}
+
+double WorkloadScale(double fallback) {
+  return EnvDouble("TCIM_SCALE", fallback, 1e-4, 1.0);
+}
+
+std::uint64_t BaseSeed() { return EnvU64("TCIM_SEED", 42); }
+
+}  // namespace tcim::util

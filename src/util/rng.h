@@ -1,0 +1,104 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// Every stochastic component in the repository (graph generators, cache
+// ablation randomization, property-test inputs) draws from these
+// generators with an explicit seed, so each experiment is reproducible
+// bit-for-bit from its printed seed.
+//
+// Xoshiro256** is the workhorse (fast, 256-bit state, passes BigCrush);
+// SplitMix64 seeds it and serves as a cheap stateless mixer.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace tcim::util {
+
+/// Stateless 64-bit mixing function (Steele, Lea, Flood 2014).
+/// Useful both as a seed expander and as a hash for property tests.
+[[nodiscard]] constexpr std::uint64_t SplitMix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Satisfies
+/// std::uniform_random_bit_generator so it can drive <random>
+/// distributions, though the helpers below avoid <random> for exact
+/// cross-platform determinism.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via SplitMix64 so that no state is
+  /// all-zero (which would be a fixed point).
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x5EEDu) noexcept {
+    std::uint64_t s = seed;
+    for (auto& w : state_) {
+      s = SplitMix64(s);
+      w = s;
+    }
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+      state_[0] = 0x9E3779B97F4A7C15ULL;
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method,
+  /// simplified: 128-bit multiply + rejection).
+  [[nodiscard]] std::uint64_t UniformBelow(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in the closed range [lo, hi].
+  [[nodiscard]] std::uint64_t UniformInRange(std::uint64_t lo,
+                                             std::uint64_t hi) noexcept {
+    return lo + UniformBelow(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  [[nodiscard]] double UniformDouble() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool Bernoulli(double p) noexcept {
+    return UniformDouble() < p;
+  }
+
+  /// Standard-normal variate (Marsaglia polar method).
+  [[nodiscard]] double Gaussian() noexcept;
+
+  /// Forks an independent stream; child streams are decorrelated from
+  /// the parent and from each other by SplitMix64 on the fork index.
+  [[nodiscard]] Xoshiro256 Fork() noexcept {
+    return Xoshiro256{SplitMix64((*this)()) ^ 0xA5A5A5A5DEADBEEFULL};
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace tcim::util

@@ -1,0 +1,139 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace tcim::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers,
+                           std::vector<Align> alignments)
+    : headers_(std::move(headers)), alignments_(std::move(alignments)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("TablePrinter: need at least one column");
+  }
+  if (alignments_.empty()) {
+    alignments_.assign(headers_.size(), Align::kLeft);
+    for (std::size_t i = 1; i < alignments_.size(); ++i) {
+      alignments_[i] = Align::kRight;  // default: first col left, rest right
+    }
+  }
+  if (alignments_.size() != headers_.size()) {
+    throw std::invalid_argument(
+        "TablePrinter: alignment count must match header count");
+  }
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TablePrinter: row/header size mismatch");
+  }
+  rows_.push_back(Row{std::move(cells), /*separator=*/false});
+}
+
+void TablePrinter::AddSeparator() {
+  rows_.push_back(Row{{}, /*separator=*/true});
+}
+
+void TablePrinter::Print(std::ostream& os, bool markdown) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const Row& r : rows_) {
+    if (r.separator) continue;
+    for (std::size_t i = 0; i < r.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], r.cells[i].size());
+    }
+  }
+
+  const auto pad = [&](const std::string& s, std::size_t w, Align a) {
+    std::string out;
+    const std::size_t fill = w > s.size() ? w - s.size() : 0;
+    if (a == Align::kRight) {
+      out.append(fill, ' ').append(s);
+    } else {
+      out.append(s).append(fill, ' ');
+    }
+    return out;
+  };
+
+  const char* sep = markdown ? " | " : "  ";
+  const char* edge = markdown ? "| " : "";
+  const char* edge_end = markdown ? " |" : "";
+
+  const auto print_rule = [&] {
+    os << edge;
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      if (i) os << sep;
+      os << std::string(widths[i], '-');
+    }
+    os << edge_end << '\n';
+  };
+
+  os << edge;
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    if (i) os << sep;
+    os << pad(headers_[i], widths[i], Align::kLeft);
+  }
+  os << edge_end << '\n';
+  print_rule();
+
+  for (const Row& r : rows_) {
+    if (r.separator) {
+      print_rule();
+      continue;
+    }
+    os << edge;
+    for (std::size_t i = 0; i < r.cells.size(); ++i) {
+      if (i) os << sep;
+      os << pad(r.cells[i], widths[i], alignments_[i]);
+    }
+    os << edge_end << '\n';
+  }
+}
+
+std::string TablePrinter::Fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Scientific(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::WithThousands(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string TablePrinter::Percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string TablePrinter::Ratio(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*fx", precision, v);
+  return buf;
+}
+
+void PrintBanner(std::ostream& os, const std::string& title) {
+  os << "\n==== " << title << " ====\n\n";
+}
+
+}  // namespace tcim::util

@@ -1,0 +1,63 @@
+// Plain-text table rendering for the bench harnesses that regenerate
+// the paper's tables. Produces aligned, Markdown-compatible output so
+// bench logs can be pasted directly into EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tcim::util {
+
+/// Column alignment inside a TablePrinter.
+enum class Align : std::uint8_t { kLeft, kRight };
+
+/// Accumulates rows of strings and renders them with aligned columns.
+///
+///   TablePrinter t({"Dataset", "Vertices", "Edges"});
+///   t.AddRow({"ego-facebook", "4039", "88234"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers,
+                        std::vector<Align> alignments = {});
+
+  /// Appends one row; pads/truncates nothing — cell count must match
+  /// the header count (throws std::invalid_argument otherwise).
+  void AddRow(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator row.
+  void AddSeparator();
+
+  /// Renders the table. `markdown` selects pipe-table syntax;
+  /// otherwise a space-padded layout is used.
+  void Print(std::ostream& os, bool markdown = true) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept {
+    return rows_.size();
+  }
+
+  /// Formatting helpers used throughout the bench binaries.
+  static std::string Fixed(double v, int precision);
+  static std::string Scientific(double v, int precision);
+  static std::string WithThousands(std::uint64_t v);
+  static std::string Percent(double fraction, int precision = 2);
+  static std::string Ratio(double v, int precision = 1);  // "12.3x"
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> alignments_;
+  std::vector<Row> rows_;
+};
+
+/// Prints a section banner used by every bench binary:
+///   ==== Table V: Runtime comparison ====
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace tcim::util

@@ -1,0 +1,23 @@
+#include "util/timer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tcim::util {
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  const double abs = std::fabs(seconds);
+  if (abs >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3f s", seconds);
+  } else if (abs >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", seconds * 1e3);
+  } else if (abs >= 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.3f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+}  // namespace tcim::util

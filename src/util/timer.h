@@ -1,0 +1,62 @@
+// Wall-clock timing helpers for benchmarks and the "w/o PIM" software
+// measurements in Table V.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace tcim::util {
+
+/// Monotonic stopwatch. Started on construction; Restart() re-arms it.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void Restart() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double ElapsedSeconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  [[nodiscard]] double ElapsedMillis() const noexcept {
+    return ElapsedSeconds() * 1e3;
+  }
+  [[nodiscard]] std::uint64_t ElapsedNanos() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Runs `fn` once and returns the elapsed wall-clock seconds.
+template <typename Fn>
+[[nodiscard]] double TimeOnce(Fn&& fn) {
+  Timer t;
+  std::forward<Fn>(fn)();
+  return t.ElapsedSeconds();
+}
+
+/// Runs `fn` repeatedly until `min_seconds` of wall-clock time has
+/// accumulated (at least once) and returns seconds-per-iteration.
+/// Used by the micro-kernel benches that do not go through
+/// google-benchmark.
+template <typename Fn>
+[[nodiscard]] double TimePerIteration(Fn&& fn, double min_seconds = 0.05) {
+  Timer t;
+  std::uint64_t iters = 0;
+  do {
+    fn();
+    ++iters;
+  } while (t.ElapsedSeconds() < min_seconds);
+  return t.ElapsedSeconds() / static_cast<double>(iters);
+}
+
+/// Human-readable duration, e.g. "1.234 s", "56.7 ms", "890 ns".
+[[nodiscard]] std::string FormatSeconds(double seconds);
+
+}  // namespace tcim::util

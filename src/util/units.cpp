@@ -1,0 +1,53 @@
+#include "util/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tcim::util {
+namespace {
+
+std::string FormatScaled(double value, int precision, const char* unit,
+                         const double* thresholds, const char* const* prefixes,
+                         int count) {
+  const double abs = std::fabs(value);
+  for (int i = 0; i < count; ++i) {
+    if (abs >= thresholds[i]) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.*f %s%s", precision,
+                    value / thresholds[i], prefixes[i], unit);
+      return buf;
+    }
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g %s", precision, value, unit);
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatBytes(double bytes, int precision) {
+  static constexpr double kThresh[] = {kGiB, kMiB, kKiB, 1.0};
+  static constexpr const char* kPrefix[] = {"Gi", "Mi", "Ki", ""};
+  return FormatScaled(bytes, precision, "B", kThresh, kPrefix, 4);
+}
+
+std::string FormatJoules(double joules, int precision) {
+  static constexpr double kThresh[] = {1.0,   1e-3,  1e-6, 1e-9,
+                                       1e-12, 1e-15, 1e-18};
+  static constexpr const char* kPrefix[] = {"", "m", "u", "n", "p", "f", "a"};
+  return FormatScaled(joules, precision, "J", kThresh, kPrefix, 7);
+}
+
+std::string FormatOhms(double ohms, int precision) {
+  static constexpr double kThresh[] = {1e9, 1e6, 1e3, 1.0};
+  static constexpr const char* kPrefix[] = {"G", "M", "k", ""};
+  return FormatScaled(ohms, precision, "Ohm", kThresh, kPrefix, 4);
+}
+
+std::string FormatAmps(double amps, int precision) {
+  static constexpr double kThresh[] = {1.0, 1e-3, 1e-6, 1e-9};
+  static constexpr const char* kPrefix[] = {"", "m", "u", "n"};
+  return FormatScaled(amps, precision, "A", kThresh, kPrefix, 4);
+}
+
+}  // namespace tcim::util

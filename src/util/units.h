@@ -1,0 +1,49 @@
+// Physical-unit helpers shared by the device, NVSim and perf-model
+// layers. All internal computation is SI (seconds, joules, meters,
+// ohms, amperes); these helpers exist only at formatting boundaries
+// and for readable literals in parameter tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tcim::util {
+
+// --- readable literals for parameter tables -------------------------------
+constexpr double kNano = 1e-9;
+constexpr double kMicro = 1e-6;
+constexpr double kMilli = 1e-3;
+constexpr double kKilo = 1e3;
+constexpr double kMega = 1e6;
+constexpr double kGiga = 1e9;
+
+constexpr double kKiB = 1024.0;
+constexpr double kMiB = 1024.0 * 1024.0;
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+/// Boltzmann constant [J/K].
+constexpr double kBoltzmann = 1.380649e-23;
+/// Vacuum permeability [T·m/A].
+constexpr double kMu0 = 1.25663706212e-6;
+/// Elementary charge [C].
+constexpr double kElectronCharge = 1.602176634e-19;
+/// Reduced Planck constant [J·s].
+constexpr double kHbar = 1.054571817e-34;
+/// Bohr magneton [J/T].
+constexpr double kBohrMagneton = 9.2740100783e-24;
+/// Gyromagnetic ratio of the electron [rad/(s·T)].
+constexpr double kGyromagneticRatio = 1.760859644e11;
+
+/// "16.8 MB", "18 KB" style formatting (powers of 1024).
+[[nodiscard]] std::string FormatBytes(double bytes, int precision = 2);
+
+/// "1.2 pJ", "3.4 nJ" style energy formatting.
+[[nodiscard]] std::string FormatJoules(double joules, int precision = 2);
+
+/// "625 Ohm", "1.25 kOhm" style resistance formatting.
+[[nodiscard]] std::string FormatOhms(double ohms, int precision = 2);
+
+/// "52.3 uA" style current formatting.
+[[nodiscard]] std::string FormatAmps(double amps, int precision = 2);
+
+}  // namespace tcim::util

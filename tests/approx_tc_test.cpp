@@ -1,0 +1,94 @@
+// Tests for the approximate TC estimators (DOULION, wedge sampling).
+#include <gtest/gtest.h>
+
+#include "baseline/approx_tc.h"
+#include "baseline/cpu_tc.h"
+#include "graph/generators.h"
+
+namespace tcim::baseline {
+namespace {
+
+using graph::Graph;
+
+TEST(Doulion, ExactWhenPIsOne) {
+  const Graph g = graph::HolmeKim(500, 3000, 0.7, 1);
+  const ApproxResult r = DoulionEstimate(g, 1.0, 7);
+  EXPECT_DOUBLE_EQ(r.estimate,
+                   static_cast<double>(CountTrianglesReference(g)));
+  EXPECT_EQ(r.sampled_units, g.num_edges());
+}
+
+TEST(Doulion, UnbiasedWithinTolerance) {
+  const Graph g = graph::HolmeKim(2000, 14000, 0.8, 2);
+  const auto exact = static_cast<double>(CountTrianglesReference(g));
+  double sum = 0.0;
+  constexpr int kRuns = 12;
+  for (int run = 0; run < kRuns; ++run) {
+    sum += DoulionEstimate(g, 0.5, 100 + run).estimate;
+  }
+  EXPECT_NEAR(sum / kRuns, exact, exact * 0.15);
+}
+
+TEST(Doulion, SparsifiesProportionally) {
+  const Graph g = graph::ErdosRenyi(1000, 8000, 3);
+  const ApproxResult r = DoulionEstimate(g, 0.25, 11);
+  EXPECT_NEAR(static_cast<double>(r.sampled_units), 2000.0, 300.0);
+}
+
+TEST(Doulion, DeterministicPerSeed) {
+  const Graph g = graph::ErdosRenyi(500, 4000, 4);
+  EXPECT_DOUBLE_EQ(DoulionEstimate(g, 0.3, 5).estimate,
+                   DoulionEstimate(g, 0.3, 5).estimate);
+}
+
+TEST(Doulion, RejectsBadP) {
+  const Graph g = graph::Cycle(5);
+  EXPECT_THROW((void)DoulionEstimate(g, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)DoulionEstimate(g, 1.5, 1), std::invalid_argument);
+}
+
+TEST(WedgeSampling, ZeroOnTriangleFreeGraphs) {
+  EXPECT_DOUBLE_EQ(
+      WedgeSamplingEstimate(graph::GridLattice(20, 20), 5000, 1).estimate,
+      0.0);
+  EXPECT_DOUBLE_EQ(
+      WedgeSamplingEstimate(graph::Star(100), 5000, 1).estimate, 0.0);
+}
+
+TEST(WedgeSampling, ExactOnCompleteGraph) {
+  // Every wedge of K_n closes: estimate = wedges/3 = C(n,3) exactly.
+  const Graph g = graph::Complete(12);
+  const ApproxResult r = WedgeSamplingEstimate(g, 2000, 3);
+  EXPECT_DOUBLE_EQ(r.estimate, 220.0);  // C(12,3)
+}
+
+TEST(WedgeSampling, ConvergesOnClusteredGraph) {
+  const Graph g = graph::HolmeKim(2000, 14000, 0.8, 5);
+  const auto exact = static_cast<double>(CountTrianglesReference(g));
+  const ApproxResult r = WedgeSamplingEstimate(g, 200000, 9);
+  EXPECT_NEAR(r.estimate, exact, exact * 0.1);
+}
+
+TEST(WedgeSampling, DeterministicPerSeed) {
+  const Graph g = graph::ErdosRenyi(400, 3000, 6);
+  EXPECT_DOUBLE_EQ(WedgeSamplingEstimate(g, 1000, 7).estimate,
+                   WedgeSamplingEstimate(g, 1000, 7).estimate);
+}
+
+TEST(WedgeSampling, HandlesWedgelessGraph) {
+  // A perfect matching has no wedges at all.
+  graph::GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  const ApproxResult r =
+      WedgeSamplingEstimate(std::move(b).Build(), 100, 1);
+  EXPECT_DOUBLE_EQ(r.estimate, 0.0);
+}
+
+TEST(WedgeSampling, RejectsZeroSamples) {
+  EXPECT_THROW((void)WedgeSamplingEstimate(graph::Cycle(5), 0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcim::baseline

@@ -1,0 +1,110 @@
+// Tests for the five CPU baseline TC algorithms: closed-form values,
+// mutual agreement (parameterized across algorithms and graph
+// families), and the published-comparator helpers.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "baseline/cpu_tc.h"
+#include "baseline/reference_numbers.h"
+#include "graph/generators.h"
+
+namespace tcim::baseline {
+namespace {
+
+using graph::Graph;
+
+const std::vector<TcAlgorithm>& AllAlgorithms() {
+  static const std::vector<TcAlgorithm> algos = {
+      TcAlgorithm::kNodeIterator, TcAlgorithm::kEdgeIteratorMerge,
+      TcAlgorithm::kEdgeIteratorMark, TcAlgorithm::kForward,
+      TcAlgorithm::kDenseTrace};
+  return algos;
+}
+
+class AlgorithmTest : public ::testing::TestWithParam<TcAlgorithm> {};
+
+TEST_P(AlgorithmTest, EmptyGraphHasNoTriangles) {
+  EXPECT_EQ(CountTriangles(graph::GraphBuilder(0).Build(), GetParam()), 0u);
+  EXPECT_EQ(CountTriangles(graph::GraphBuilder(10).Build(), GetParam()), 0u);
+}
+
+TEST_P(AlgorithmTest, SingleTriangle) {
+  EXPECT_EQ(CountTriangles(graph::Complete(3), GetParam()), 1u);
+}
+
+TEST_P(AlgorithmTest, ClosedFormFamilies) {
+  const TcAlgorithm algo = GetParam();
+  EXPECT_EQ(CountTriangles(graph::Complete(9), algo), 84u);  // C(9,3)
+  EXPECT_EQ(CountTriangles(graph::Cycle(12), algo), 0u);
+  EXPECT_EQ(CountTriangles(graph::Path(12), algo), 0u);
+  EXPECT_EQ(CountTriangles(graph::Star(12), algo), 0u);
+  EXPECT_EQ(CountTriangles(graph::Wheel(12), algo), 11u);
+  EXPECT_EQ(CountTriangles(graph::GridLattice(6, 6), algo), 0u);
+  EXPECT_EQ(CountTriangles(graph::CompleteBipartite(5, 6), algo), 0u);
+}
+
+TEST_P(AlgorithmTest, AgreesWithMergeReferenceOnRandomGraphs) {
+  const TcAlgorithm algo = GetParam();
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Graph g = graph::ErdosRenyi(300, 2500, seed);
+    ASSERT_EQ(CountTriangles(g, algo), CountTrianglesReference(g))
+        << "seed=" << seed;
+  }
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = graph::HolmeKim(400, 2000, 0.7, seed);
+    ASSERT_EQ(CountTriangles(g, algo), CountTrianglesReference(g))
+        << "seed=" << seed;
+  }
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = graph::Rmat(512, 3000, graph::RmatParams{}, seed);
+    ASSERT_EQ(CountTriangles(g, algo), CountTrianglesReference(g))
+        << "seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, AlgorithmTest,
+                         ::testing::ValuesIn(AllAlgorithms()),
+                         [](const auto& info) {
+                           std::string name = ToString(info.param);
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(DenseTrace, RejectsHugeGraphs) {
+  const Graph g = graph::ErdosRenyi(5000, 5000, 1);
+  EXPECT_THROW((void)CountTriangles(g, TcAlgorithm::kDenseTrace),
+               std::invalid_argument);
+}
+
+TEST(ToStringNames, AreDistinct) {
+  std::set<std::string> names;
+  for (const TcAlgorithm a : AllAlgorithms()) {
+    names.insert(ToString(a));
+  }
+  EXPECT_EQ(names.size(), AllAlgorithms().size());
+}
+
+TEST(ReferenceNumbers, FpgaEnergyUsesPaperRuntime) {
+  const auto& fb = graph::GetPaperRefByName("ego-facebook");
+  EXPECT_NEAR(FpgaEnergyJoules(fb), 0.093 * kFpgaBoardPowerWatts, 1e-9);
+  const auto& amazon = graph::GetPaperRefByName("com-amazon");
+  EXPECT_LT(FpgaEnergyJoules(amazon), 0.0);  // N/A in the paper
+}
+
+TEST(ReferenceNumbers, GpuEnergyUsesPaperRuntime) {
+  const auto& ca = graph::GetPaperRefByName("roadNet-CA");
+  EXPECT_NEAR(GpuEnergyJoules(ca), 0.18 * kGpuBoardPowerWatts, 1e-9);
+}
+
+TEST(ReferenceNumbers, SpeedupHandlesMissingData) {
+  EXPECT_DOUBLE_EQ(Speedup(10.0, 2.0), 5.0);
+  EXPECT_LT(Speedup(-1.0, 2.0), 0.0);
+  EXPECT_LT(Speedup(10.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace tcim::baseline

@@ -1,0 +1,222 @@
+// Tests for popcount strategies and BitVector.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <vector>
+
+#include "bitmatrix/bitvector.h"
+#include "bitmatrix/popcount.h"
+#include "util/rng.h"
+
+namespace tcim::bit {
+namespace {
+
+class PopcountKindTest : public ::testing::TestWithParam<PopcountKind> {};
+
+TEST_P(PopcountKindTest, MatchesStdPopcountOnEdgeValues) {
+  const PopcountKind kind = GetParam();
+  for (const std::uint64_t v :
+       {0ULL, 1ULL, 2ULL, 0xFFULL, 0xFF00ULL, 0x8000000000000000ULL,
+        0xFFFFFFFFFFFFFFFFULL, 0xAAAAAAAAAAAAAAAAULL,
+        0x5555555555555555ULL, 0x0123456789ABCDEFULL}) {
+    EXPECT_EQ(Popcount(v, kind), std::popcount(v)) << v;
+  }
+}
+
+TEST_P(PopcountKindTest, MatchesStdPopcountOnRandomValues) {
+  const PopcountKind kind = GetParam();
+  util::Xoshiro256 rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = rng();
+    ASSERT_EQ(Popcount(v, kind), std::popcount(v)) << v;
+  }
+}
+
+TEST_P(PopcountKindTest, Exhaustive16BitInputs) {
+  const PopcountKind kind = GetParam();
+  for (std::uint64_t v = 0; v < 65536; ++v) {
+    ASSERT_EQ(Popcount(v, kind), std::popcount(v)) << v;
+  }
+}
+
+TEST_P(PopcountKindTest, WordSpanSumsPerWordCounts) {
+  const PopcountKind kind = GetParam();
+  const std::vector<std::uint64_t> words = {0xF0F0ULL, 0x1ULL, 0ULL,
+                                            ~0ULL};
+  EXPECT_EQ(PopcountWords(words, kind), 8u + 1u + 0u + 64u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, PopcountKindTest,
+                         ::testing::Values(PopcountKind::kBuiltin,
+                                           PopcountKind::kSwar,
+                                           PopcountKind::kLut8,
+                                           PopcountKind::kLut16),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case PopcountKind::kBuiltin: return "builtin";
+                             case PopcountKind::kSwar: return "swar";
+                             case PopcountKind::kLut8: return "lut8";
+                             case PopcountKind::kLut16: return "lut16";
+                           }
+                           return "unknown";
+                         });
+
+TEST(AndPopcount, FusedKernelMatchesSeparateOps) {
+  util::Xoshiro256 rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint64_t> a(8);
+    std::vector<std::uint64_t> b(8);
+    for (auto& w : a) w = rng();
+    for (auto& w : b) w = rng();
+    std::uint64_t expected = 0;
+    for (int i = 0; i < 8; ++i) {
+      expected += static_cast<std::uint64_t>(std::popcount(a[i] & b[i]));
+    }
+    EXPECT_EQ(AndPopcount(a, b), expected);
+    EXPECT_EQ(AndPopcount(a, b, PopcountKind::kLut8), expected);
+  }
+}
+
+TEST(AndPopcount, DisjointVectorsGiveZero) {
+  const std::vector<std::uint64_t> a = {0xF0F0F0F0F0F0F0F0ULL};
+  const std::vector<std::uint64_t> b = {0x0F0F0F0F0F0F0F0FULL};
+  EXPECT_EQ(AndPopcount(a, b), 0u);
+}
+
+TEST(BitVector, StartsEmpty) {
+  BitVector v(100);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.Count(), 0u);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(v.Get(i));
+  }
+}
+
+TEST(BitVector, SetClearAssign) {
+  BitVector v(70);
+  v.Set(0);
+  v.Set(63);
+  v.Set(64);
+  v.Set(69);
+  EXPECT_TRUE(v.Get(0));
+  EXPECT_TRUE(v.Get(63));
+  EXPECT_TRUE(v.Get(64));
+  EXPECT_TRUE(v.Get(69));
+  EXPECT_EQ(v.Count(), 4u);
+  v.Clear(63);
+  EXPECT_FALSE(v.Get(63));
+  EXPECT_EQ(v.Count(), 3u);
+  v.Assign(1, true);
+  v.Assign(0, false);
+  EXPECT_TRUE(v.Get(1));
+  EXPECT_FALSE(v.Get(0));
+}
+
+TEST(BitVector, OutOfRangeThrows) {
+  BitVector v(10);
+  EXPECT_THROW((void)v.Get(10), std::out_of_range);
+  EXPECT_THROW(v.Set(10), std::out_of_range);
+  EXPECT_THROW(v.Clear(10), std::out_of_range);
+}
+
+TEST(BitVector, SizeMismatchThrows) {
+  BitVector a(10);
+  BitVector b(11);
+  EXPECT_THROW(a.AndWith(b), std::invalid_argument);
+  EXPECT_THROW(a.OrWith(b), std::invalid_argument);
+  EXPECT_THROW((void)a.AndCount(b), std::invalid_argument);
+}
+
+TEST(BitVector, LogicalOps) {
+  BitVector a(130);
+  BitVector b(130);
+  a.Set(0);
+  a.Set(65);
+  a.Set(129);
+  b.Set(65);
+  b.Set(100);
+
+  BitVector and_result = a;
+  and_result.AndWith(b);
+  EXPECT_EQ(and_result.Count(), 1u);
+  EXPECT_TRUE(and_result.Get(65));
+
+  BitVector or_result = a;
+  or_result.OrWith(b);
+  EXPECT_EQ(or_result.Count(), 4u);
+
+  BitVector xor_result = a;
+  xor_result.XorWith(b);
+  EXPECT_EQ(xor_result.Count(), 3u);
+  EXPECT_FALSE(xor_result.Get(65));
+}
+
+TEST(BitVector, AndCountWithoutMaterializing) {
+  util::Xoshiro256 rng(5);
+  BitVector a(500);
+  BitVector b(500);
+  for (int i = 0; i < 200; ++i) {
+    a.Set(rng.UniformBelow(500));
+    b.Set(rng.UniformBelow(500));
+  }
+  BitVector c = a;
+  c.AndWith(b);
+  EXPECT_EQ(a.AndCount(b), c.Count());
+}
+
+TEST(BitVector, ForEachSetBitVisitsInOrder) {
+  BitVector v(200);
+  const std::vector<std::uint64_t> positions = {0, 1, 63, 64, 127, 128, 199};
+  for (const auto p : positions) v.Set(p);
+  std::vector<std::uint64_t> visited;
+  v.ForEachSetBit([&](std::uint64_t p) { visited.push_back(p); });
+  EXPECT_EQ(visited, positions);
+}
+
+TEST(BitVector, ResetClearsAll) {
+  BitVector v(100);
+  v.Set(5);
+  v.Set(99);
+  v.Reset();
+  EXPECT_EQ(v.Count(), 0u);
+  EXPECT_EQ(v.size(), 100u);
+}
+
+TEST(BitVector, NormalizeClearsTailBits) {
+  BitVector v(65);
+  auto words = v.mutable_words();
+  words[1] = ~0ULL;  // garbage beyond bit 65
+  v.Normalize();
+  EXPECT_EQ(v.Count(), 1u);  // only bit 64 survives
+  EXPECT_TRUE(v.Get(64));
+}
+
+TEST(BitVector, EqualityComparesContents) {
+  BitVector a(64);
+  BitVector b(64);
+  EXPECT_EQ(a, b);
+  a.Set(3);
+  EXPECT_NE(a, b);
+  b.Set(3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitVector, CountMatchesAcrossStrategies) {
+  util::Xoshiro256 rng(17);
+  BitVector v(1000);
+  for (int i = 0; i < 400; ++i) v.Set(rng.UniformBelow(1000));
+  const auto expected = v.Count(PopcountKind::kBuiltin);
+  EXPECT_EQ(v.Count(PopcountKind::kSwar), expected);
+  EXPECT_EQ(v.Count(PopcountKind::kLut8), expected);
+  EXPECT_EQ(v.Count(PopcountKind::kLut16), expected);
+}
+
+TEST(BitVector, ZeroSizeIsWellBehaved) {
+  BitVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.Count(), 0u);
+  v.ForEachSetBit([](std::uint64_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace tcim::bit

@@ -1,0 +1,228 @@
+// Tests for the MTJ device layer: parameter validation, Brinkman
+// bias-dependent resistance, LLG switching dynamics, and the cell
+// characterization consumed by the array model.
+#include <gtest/gtest.h>
+
+#include "device/brinkman.h"
+#include "device/llg.h"
+#include "device/mtj_device.h"
+#include "device/mtj_params.h"
+
+namespace tcim::device {
+namespace {
+
+TEST(MtjParams, PaperDefaultsValidate) {
+  EXPECT_NO_THROW(PaperMtjParams().Validate());
+}
+
+TEST(MtjParams, PaperTableIValues) {
+  const MtjParams p = PaperMtjParams();
+  EXPECT_DOUBLE_EQ(p.surface_length, 40e-9);
+  EXPECT_DOUBLE_EQ(p.surface_width, 40e-9);
+  EXPECT_DOUBLE_EQ(p.spin_hall_angle, 0.3);
+  EXPECT_DOUBLE_EQ(p.resistance_area_product, 1e-12);
+  EXPECT_DOUBLE_EQ(p.oxide_thickness, 0.82e-9);
+  EXPECT_DOUBLE_EQ(p.tmr, 1.0);
+  EXPECT_DOUBLE_EQ(p.saturation_magnetization, 1e6);
+  EXPECT_DOUBLE_EQ(p.gilbert_damping, 0.03);
+  EXPECT_DOUBLE_EQ(p.anisotropy_field, 4.5e5);
+  EXPECT_DOUBLE_EQ(p.temperature, 300.0);
+}
+
+TEST(MtjParams, ValidationCatchesNonPhysicalValues) {
+  MtjParams p = PaperMtjParams();
+  p.tmr = -0.5;
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+  p = PaperMtjParams();
+  p.gilbert_damping = 1.5;
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+  p = PaperMtjParams();
+  p.temperature = 0.0;
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+  p = PaperMtjParams();
+  p.write_voltage = 0.05;  // below read voltage
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+  p = PaperMtjParams();
+  p.spin_polarization = 0.0;
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+}
+
+TEST(Brinkman, ZeroBiasResistanceFollowsRaAndTmr) {
+  const MtjParams p = PaperMtjParams();
+  const BrinkmanModel model(p);
+  const double expected_rp = p.resistance_area_product / p.Area();
+  EXPECT_NEAR(model.ZeroBiasResistance(MtjState::kParallel), expected_rp,
+              1e-6);
+  EXPECT_NEAR(model.ZeroBiasResistance(MtjState::kAntiParallel),
+              expected_rp * (1.0 + p.tmr), 1e-6);
+  EXPECT_NEAR(expected_rp, 625.0, 1.0);  // 1 Ohm*um^2 / (40nm)^2
+}
+
+TEST(Brinkman, ResistanceDecreasesWithBias) {
+  const BrinkmanModel model(PaperMtjParams());
+  for (const MtjState s : {MtjState::kParallel, MtjState::kAntiParallel}) {
+    double prev = model.Resistance(s, 0.0);
+    for (double v = 0.1; v <= 0.8; v += 0.1) {
+      const double r = model.Resistance(s, v);
+      EXPECT_LT(r, prev) << "state=" << static_cast<int>(s) << " v=" << v;
+      prev = r;
+    }
+  }
+}
+
+TEST(Brinkman, TmrRollsOffWithBias) {
+  const BrinkmanModel model(PaperMtjParams());
+  EXPECT_NEAR(model.TmrAtBias(0.0), 1.0, 1e-12);
+  EXPECT_GT(model.TmrAtBias(0.1), model.TmrAtBias(0.3));
+  // At V = V_h the TMR halves by construction.
+  EXPECT_NEAR(model.TmrAtBias(PaperMtjParams().tmr_rolloff_volts), 0.5,
+              1e-12);
+}
+
+TEST(Brinkman, ApAlwaysAboveP) {
+  const BrinkmanModel model(PaperMtjParams());
+  for (double v = 0.0; v <= 0.8; v += 0.05) {
+    EXPECT_GT(model.Resistance(MtjState::kAntiParallel, v),
+              model.Resistance(MtjState::kParallel, v));
+  }
+}
+
+TEST(Brinkman, CurrentIsMonotoneInBias) {
+  const BrinkmanModel model(PaperMtjParams());
+  double prev = 0.0;
+  for (double v = 0.05; v <= 0.8; v += 0.05) {
+    const double i = model.Current(MtjState::kParallel, v);
+    EXPECT_GT(i, prev);
+    prev = i;
+  }
+}
+
+TEST(Brinkman, QuadraticCoefficientPositive) {
+  EXPECT_GT(BrinkmanModel(PaperMtjParams()).QuadraticCoefficient(), 0.0);
+}
+
+TEST(Llg, ThermalStabilityIsRetentionClass) {
+  const LlgSolver llg(PaperMtjParams());
+  // 40x40x1 nm free layer with these Ms/Hk: Delta ~ 109.
+  EXPECT_NEAR(llg.ThermalStability(), 109.0, 5.0);
+  EXPECT_GT(llg.InitialTiltAngle(), 0.0);
+  EXPECT_LT(llg.InitialTiltAngle(), 0.2);
+}
+
+TEST(Llg, CriticalCurrentIsTensOfMicroamps) {
+  const LlgSolver llg(PaperMtjParams());
+  EXPECT_GT(llg.CriticalCurrent(), 10e-6);
+  EXPECT_LT(llg.CriticalCurrent(), 1e-3);
+}
+
+TEST(Llg, BelowCriticalCurrentDoesNotSwitch) {
+  const LlgSolver llg(PaperMtjParams());
+  const LlgResult r =
+      llg.SimulateSwitching(0.8 * llg.CriticalCurrent(), 20e-9);
+  EXPECT_FALSE(r.switched);
+  EXPECT_GT(r.final_mz, 0.5);  // stays near the initial pole
+}
+
+TEST(Llg, AboveCriticalCurrentSwitches) {
+  const LlgSolver llg(PaperMtjParams());
+  const LlgResult r = llg.SimulateSwitching(2.0 * llg.CriticalCurrent());
+  EXPECT_TRUE(r.switched);
+  EXPECT_GT(r.switching_time, 0.0);
+  EXPECT_LT(r.switching_time, 20e-9);
+  EXPECT_LT(r.final_mz, -0.9);
+}
+
+TEST(Llg, SwitchingTimeDecreasesWithOverdrive) {
+  const LlgSolver llg(PaperMtjParams());
+  double prev = 1.0;
+  for (const double mult : {1.5, 2.0, 3.0, 5.0, 8.0}) {
+    const LlgResult r =
+        llg.SimulateSwitching(mult * llg.CriticalCurrent());
+    ASSERT_TRUE(r.switched) << "mult=" << mult;
+    EXPECT_LT(r.switching_time, prev) << "mult=" << mult;
+    prev = r.switching_time;
+  }
+}
+
+TEST(Llg, CurrentForSwitchingTimeBisection) {
+  const LlgSolver llg(PaperMtjParams());
+  const double target = 3e-9;
+  const double current = llg.CurrentForSwitchingTime(target);
+  const LlgResult r = llg.SimulateSwitching(current);
+  ASSERT_TRUE(r.switched);
+  EXPECT_LE(r.switching_time, target * 1.02);
+  // Must not be wildly overdriven either: 10% less current should miss
+  // the target.
+  const LlgResult slower = llg.SimulateSwitching(0.9 * current);
+  EXPECT_TRUE(!slower.switched || slower.switching_time > target * 0.98);
+}
+
+TEST(Llg, RejectsBadIntegrationParams) {
+  const LlgSolver llg(PaperMtjParams());
+  EXPECT_THROW((void)llg.SimulateSwitching(1e-4, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)llg.SimulateSwitching(1e-4, 1e-9, 0.0),
+               std::invalid_argument);
+}
+
+TEST(MtjDevice, CharacterizationIsSane) {
+  const MtjDevice dev(PaperMtjParams());
+  const MtjElectrical& e = dev.Characterize();
+  EXPECT_GT(e.r_p, 0.0);
+  EXPECT_GT(e.r_ap, e.r_p);
+  EXPECT_GT(e.i_read_1, e.i_read_0);
+  EXPECT_GT(e.read_margin, 0.0);
+  EXPECT_GT(e.and_margin, 0.0);
+  // AND levels are ordered: (1,1) > (1,0) > (0,0).
+  EXPECT_GT(e.i_and_11, e.i_and_10);
+  EXPECT_GT(e.i_and_10, e.i_and_00);
+  // AND reference separates (1,1) from (1,0).
+  EXPECT_GT(e.i_and_11, e.and_reference);
+  EXPECT_LT(e.i_and_10, e.and_reference);
+  // Write actually switches and costs sub-pJ energy per bit.
+  EXPECT_GT(e.write_current, e.critical_current);
+  EXPECT_GT(e.switching_time, 0.0);
+  EXPECT_LT(e.switching_time, 20e-9);
+  EXPECT_GT(e.write_energy_bit, 0.0);
+  EXPECT_LT(e.write_energy_bit, 10e-12);
+  EXPECT_GT(e.thermal_stability, 40.0);  // retention-grade
+}
+
+TEST(MtjDevice, CharacterizationIsCached) {
+  const MtjDevice dev(PaperMtjParams());
+  const MtjElectrical& a = dev.Characterize();
+  const MtjElectrical& b = dev.Characterize();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MtjDevice, CellCurrentRespectsSeriesResistance) {
+  const MtjDevice dev(PaperMtjParams());
+  const MtjParams& p = dev.params();
+  const double i = dev.CellCurrent(MtjState::kParallel, p.read_voltage);
+  // Bounded above by V / R_access and below by V / (R_access + R_AP0).
+  EXPECT_LT(i, p.read_voltage / p.access_resistance);
+  EXPECT_GT(i, p.read_voltage /
+                   (p.access_resistance +
+                    dev.brinkman().ZeroBiasResistance(
+                        MtjState::kAntiParallel)));
+}
+
+TEST(MtjDevice, HigherDampingRaisesCriticalCurrent) {
+  MtjParams lo = PaperMtjParams();
+  MtjParams hi = PaperMtjParams();
+  hi.gilbert_damping = 0.06;
+  EXPECT_GT(LlgSolver(hi).CriticalCurrent(),
+            LlgSolver(lo).CriticalCurrent());
+}
+
+TEST(MtjDevice, SmallerCellLowersCriticalCurrentButAlsoStability) {
+  MtjParams small = PaperMtjParams();
+  small.surface_length = 20e-9;
+  small.surface_width = 20e-9;
+  const LlgSolver llg_small(small);
+  const LlgSolver llg_paper(PaperMtjParams());
+  EXPECT_LT(llg_small.CriticalCurrent(), llg_paper.CriticalCurrent());
+  EXPECT_LT(llg_small.ThermalStability(), llg_paper.ThermalStability());
+}
+
+}  // namespace
+}  // namespace tcim::device

@@ -1,0 +1,170 @@
+// Tests for the CSR graph substrate and its builder invariants.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace tcim::graph {
+namespace {
+
+TEST(GraphBuilder, EmptyGraph) {
+  const Graph g = GraphBuilder(0).Build();
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphBuilder, VerticesWithoutEdges) {
+  const Graph g = GraphBuilder(5).Build();
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.Degree(v), 0u);
+    EXPECT_TRUE(g.Neighbors(v).empty());
+  }
+}
+
+TEST(GraphBuilder, SingleEdgeIsSymmetric) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 2);
+  const Graph g = std::move(b).Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(1), 0u);
+  EXPECT_EQ(g.Degree(2), 1u);
+}
+
+TEST(GraphBuilder, DropsSelfLoops) {
+  GraphBuilder b(3);
+  b.AddEdge(1, 1);
+  b.AddEdge(0, 1);
+  const Graph g = std::move(b).Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.HasEdge(1, 1));
+}
+
+TEST(GraphBuilder, DeduplicatesParallelEdges) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);  // same edge, reversed
+  b.AddEdge(0, 1);  // exact duplicate
+  const Graph g = std::move(b).Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(1), 1u);
+}
+
+TEST(GraphBuilder, RejectsOutOfRangeVertices) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.AddEdge(0, 3), std::out_of_range);
+  EXPECT_THROW(b.AddEdge(3, 0), std::out_of_range);
+}
+
+TEST(Graph, NeighborsAreSortedStrictlyIncreasing) {
+  util::Xoshiro256 rng(42);
+  GraphBuilder b(200);
+  for (int i = 0; i < 2000; ++i) {
+    b.AddEdge(static_cast<VertexId>(rng.UniformBelow(200)),
+              static_cast<VertexId>(rng.UniformBelow(200)));
+  }
+  const Graph g = std::move(b).Build();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.Neighbors(v);
+    for (std::size_t i = 1; i < nbrs.size(); ++i) {
+      ASSERT_LT(nbrs[i - 1], nbrs[i]);
+    }
+  }
+}
+
+TEST(Graph, AdjacencyIsSymmetric) {
+  util::Xoshiro256 rng(43);
+  GraphBuilder b(100);
+  for (int i = 0; i < 500; ++i) {
+    b.AddEdge(static_cast<VertexId>(rng.UniformBelow(100)),
+              static_cast<VertexId>(rng.UniformBelow(100)));
+  }
+  const Graph g = std::move(b).Build();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.Neighbors(v)) {
+      ASSERT_TRUE(g.HasEdge(u, v));
+    }
+  }
+}
+
+TEST(Graph, DegreeSumsToTwiceEdges) {
+  util::Xoshiro256 rng(44);
+  GraphBuilder b(150);
+  for (int i = 0; i < 900; ++i) {
+    b.AddEdge(static_cast<VertexId>(rng.UniformBelow(150)),
+              static_cast<VertexId>(rng.UniformBelow(150)));
+  }
+  const Graph g = std::move(b).Build();
+  std::uint64_t degree_sum = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) degree_sum += g.Degree(v);
+  EXPECT_EQ(degree_sum, 2 * g.num_edges());
+}
+
+TEST(Graph, ForEachEdgeVisitsEachOnceOrdered) {
+  GraphBuilder b(5);
+  b.AddEdge(3, 1);
+  b.AddEdge(0, 4);
+  b.AddEdge(2, 0);
+  const Graph g = std::move(b).Build();
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  g.ForEachEdge([&](VertexId u, VertexId v) { edges.emplace_back(u, v); });
+  EXPECT_EQ(edges, (std::vector<std::pair<VertexId, VertexId>>{
+                       {0, 2}, {0, 4}, {1, 3}}));
+}
+
+TEST(Graph, MaxAndMeanDegree) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(0, 3);
+  const Graph g = std::move(b).Build();
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_DOUBLE_EQ(g.mean_degree(), 6.0 / 4.0);
+}
+
+TEST(Graph, AccessorsRejectOutOfRange) {
+  const Graph g = GraphBuilder(2).Build();
+  EXPECT_THROW((void)g.Neighbors(2), std::out_of_range);
+  EXPECT_THROW((void)g.Degree(2), std::out_of_range);
+  EXPECT_THROW((void)g.HasEdge(0, 2), std::out_of_range);
+}
+
+TEST(Graph, HasEdgeSearchesSmallerList) {
+  // Hub vertex 0 with many neighbours; probe from both sides.
+  GraphBuilder b(1000);
+  for (VertexId v = 1; v < 1000; ++v) b.AddEdge(0, v);
+  b.AddEdge(500, 501);
+  const Graph g = std::move(b).Build();
+  EXPECT_TRUE(g.HasEdge(0, 999));
+  EXPECT_TRUE(g.HasEdge(999, 0));
+  EXPECT_TRUE(g.HasEdge(500, 501));
+  EXPECT_FALSE(g.HasEdge(501, 502));
+}
+
+TEST(Graph, OffsetsSpanAdjacency) {
+  util::Xoshiro256 rng(45);
+  GraphBuilder b(50);
+  for (int i = 0; i < 100; ++i) {
+    b.AddEdge(static_cast<VertexId>(rng.UniformBelow(50)),
+              static_cast<VertexId>(rng.UniformBelow(50)));
+  }
+  const Graph g = std::move(b).Build();
+  const auto offsets = g.offsets();
+  ASSERT_EQ(offsets.size(), g.num_vertices() + 1u);
+  EXPECT_EQ(offsets.front(), 0u);
+  EXPECT_EQ(offsets.back(), g.adjacency().size());
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    EXPECT_LE(offsets[i - 1], offsets[i]);
+  }
+}
+
+}  // namespace
+}  // namespace tcim::graph

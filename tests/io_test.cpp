@@ -1,0 +1,140 @@
+// Tests for SNAP text + binary graph serialization.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+
+namespace tcim::graph {
+namespace {
+
+TEST(SnapReader, ParsesBasicEdgeList) {
+  std::istringstream in("0 1\n1 2\n0 2\n");
+  const Graph g = ReadSnapEdgeList(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(0, 2));
+}
+
+TEST(SnapReader, SkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "# Directed graph (each unordered pair of nodes is saved once)\n"
+      "% another comment style\n"
+      "\n"
+      "   \t \n"
+      "0\t1\n"
+      "# trailing comment\n"
+      "1\t2\n");
+  const Graph g = ReadSnapEdgeList(in);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(SnapReader, RemapsSparseIds) {
+  std::istringstream in("1000000 42\n42 99999\n");
+  const Graph g = ReadSnapEdgeList(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  // Remap is by sorted original id: 42->0, 99999->1, 1000000->2.
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(SnapReader, DropsDuplicatesAndSelfLoops) {
+  std::istringstream in("0 1\n1 0\n0 1\n2 2\n");
+  const Graph g = ReadSnapEdgeList(in);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(SnapReader, ThrowsOnGarbage) {
+  std::istringstream in("0 1\nnot numbers\n");
+  EXPECT_THROW(ReadSnapEdgeList(in), std::runtime_error);
+}
+
+TEST(SnapReader, ThrowsOnMissingSecondId) {
+  std::istringstream in("0\n");
+  EXPECT_THROW(ReadSnapEdgeList(in), std::runtime_error);
+}
+
+TEST(SnapReader, IgnoresExtraColumns) {
+  std::istringstream in("0 1 1588893600\n1 2 1588893700\n");
+  const Graph g = ReadSnapEdgeList(in);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(SnapRoundTrip, WriteThenReadPreservesGraph) {
+  const Graph original = HolmeKim(200, 1000, 0.5, 3);
+  std::stringstream buffer;
+  WriteSnapEdgeList(original, buffer);
+  const Graph restored = ReadSnapEdgeList(buffer);
+  ASSERT_EQ(restored.num_vertices(), original.num_vertices());
+  ASSERT_EQ(restored.num_edges(), original.num_edges());
+  EXPECT_TRUE(std::equal(original.adjacency().begin(),
+                         original.adjacency().end(),
+                         restored.adjacency().begin()));
+}
+
+TEST(BinaryRoundTrip, PreservesGraph) {
+  const Graph original = GeometricRoad(2000, RoadParams{}, 4);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  WriteBinary(original, buffer);
+  const Graph restored = ReadBinary(buffer);
+  ASSERT_EQ(restored.num_vertices(), original.num_vertices());
+  ASSERT_EQ(restored.num_edges(), original.num_edges());
+  EXPECT_TRUE(std::equal(original.adjacency().begin(),
+                         original.adjacency().end(),
+                         restored.adjacency().begin()));
+}
+
+TEST(BinaryRoundTrip, EmptyGraph) {
+  const Graph original = GraphBuilder(7).Build();
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  WriteBinary(original, buffer);
+  const Graph restored = ReadBinary(buffer);
+  EXPECT_EQ(restored.num_vertices(), 7u);
+  EXPECT_EQ(restored.num_edges(), 0u);
+}
+
+TEST(BinaryReader, RejectsBadMagic) {
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  buffer << "NOTAGRAPHFILE................";
+  EXPECT_THROW(ReadBinary(buffer), std::runtime_error);
+}
+
+TEST(BinaryReader, RejectsTruncatedFile) {
+  const Graph original = ErdosRenyi(100, 300, 5);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  WriteBinary(original, buffer);
+  std::string data = buffer.str();
+  data.resize(data.size() / 2);
+  std::stringstream truncated(data,
+                              std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_THROW(ReadBinary(truncated), std::runtime_error);
+}
+
+TEST(FileIo, MissingFileThrows) {
+  EXPECT_THROW(ReadSnapEdgeListFile("/nonexistent/path.txt"),
+               std::runtime_error);
+  EXPECT_THROW(ReadBinaryFile("/nonexistent/path.bin"), std::runtime_error);
+}
+
+TEST(FileIo, WriteAndReadBackFiles) {
+  const Graph original = ErdosRenyi(50, 120, 6);
+  const std::string text_path = ::testing::TempDir() + "/tcim_io_test.txt";
+  const std::string bin_path = ::testing::TempDir() + "/tcim_io_test.bin";
+  {
+    std::ofstream out(text_path);
+    WriteSnapEdgeList(original, out);
+  }
+  WriteBinaryFile(original, bin_path);
+  const Graph from_text = ReadSnapEdgeListFile(text_path);
+  const Graph from_bin = ReadBinaryFile(bin_path);
+  EXPECT_EQ(from_text.num_edges(), original.num_edges());
+  EXPECT_EQ(from_bin.num_edges(), original.num_edges());
+}
+
+}  // namespace
+}  // namespace tcim::graph

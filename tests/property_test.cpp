@@ -1,0 +1,161 @@
+// Property-based tests: randomized graph families swept over seeds,
+// asserting the invariants that hold for *every* input —
+//  (1) all TC implementations agree,
+//  (2) Eq. (5) bookkeeping identities,
+//  (3) slicing statistics conservation,
+//  (4) cache statistics conservation and capacity monotonicity.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "baseline/cpu_tc.h"
+#include "core/accelerator.h"
+#include "core/bitwise_tc.h"
+#include "graph/generators.h"
+#include "graph/orientation.h"
+#include "graph/stats.h"
+
+namespace tcim {
+namespace {
+
+using graph::Graph;
+using graph::Orientation;
+
+struct FamilyCase {
+  const char* name;
+  Graph (*make)(std::uint64_t seed);
+};
+
+const FamilyCase kFamilies[] = {
+    {"erdos_sparse",
+     [](std::uint64_t s) { return graph::ErdosRenyi(400, 1200, s); }},
+    {"erdos_dense",
+     [](std::uint64_t s) { return graph::ErdosRenyi(150, 5000, s); }},
+    {"rmat",
+     [](std::uint64_t s) {
+       return graph::Rmat(512, 4000, graph::RmatParams{}, s);
+     }},
+    {"holmekim_clustered",
+     [](std::uint64_t s) { return graph::HolmeKim(350, 2800, 0.9, s); }},
+    {"holmekim_flat",
+     [](std::uint64_t s) { return graph::HolmeKim(350, 2800, 0.1, s); }},
+    {"smallworld",
+     [](std::uint64_t s) { return graph::WattsStrogatz(500, 4, 0.3, s); }},
+    {"road",
+     [](std::uint64_t s) {
+       return graph::GeometricRoad(1200, graph::RoadParams{}, s);
+     }},
+};
+
+class FamilySeedTest
+    : public ::testing::TestWithParam<std::tuple<FamilyCase, std::uint64_t>> {
+ protected:
+  Graph MakeGraph() const {
+    return std::get<0>(GetParam()).make(std::get<1>(GetParam()));
+  }
+};
+
+TEST_P(FamilySeedTest, AllCountingPathsAgree) {
+  const Graph g = MakeGraph();
+  const std::uint64_t expected =
+      CountTriangles(g, baseline::TcAlgorithm::kEdgeIteratorMerge);
+  EXPECT_EQ(CountTriangles(g, baseline::TcAlgorithm::kNodeIterator),
+            expected);
+  EXPECT_EQ(CountTriangles(g, baseline::TcAlgorithm::kEdgeIteratorMark),
+            expected);
+  EXPECT_EQ(CountTriangles(g, baseline::TcAlgorithm::kForward), expected);
+  EXPECT_EQ(CountTriangles(g, baseline::TcAlgorithm::kDenseTrace),
+            expected);
+  EXPECT_EQ(core::CountTrianglesDense(g), expected);
+  EXPECT_EQ(core::CountTrianglesSliced(g), expected);
+
+  core::TcimConfig c;
+  c.array.capacity_bytes = 1ULL << 20;
+  EXPECT_EQ(core::TcimAccelerator{c}.Run(g).triangles, expected);
+}
+
+TEST_P(FamilySeedTest, Equation5IdentityAcrossOrientations) {
+  const Graph g = MakeGraph();
+  const std::uint64_t t = core::CountTrianglesSliced(g);
+  // Upper and degree orientations count each triangle once; the full
+  // symmetric matrix counts it six times (paper Eq. (1) vs Fig. 2).
+  const bit::SlicedMatrix upper =
+      core::BuildSlicedMatrix(g, Orientation::kUpper, 64);
+  const bit::SlicedMatrix degree =
+      core::BuildSlicedMatrix(g, Orientation::kDegree, 64);
+  const bit::SlicedMatrix full =
+      core::BuildSlicedMatrix(g, Orientation::kFullSymmetric, 64);
+  EXPECT_EQ(upper.AndPopcountAllEdges(), t);
+  EXPECT_EQ(degree.AndPopcountAllEdges(), t);
+  EXPECT_EQ(full.AndPopcountAllEdges(), 6 * t);
+}
+
+TEST_P(FamilySeedTest, SliceStatsConservation) {
+  const Graph g = MakeGraph();
+  const bit::SlicedMatrix m =
+      core::BuildSlicedMatrix(g, Orientation::kUpper, 64);
+  const bit::SliceStats s = m.ComputeStats();
+  EXPECT_EQ(s.edges, g.num_edges());
+  EXPECT_EQ(s.total_pairs, s.edges * m.rows().slices_per_vector());
+  EXPECT_LE(s.valid_pairs, s.total_pairs);
+  EXPECT_LE(s.touched_row_slices, s.row_valid_slices);
+  EXPECT_LE(s.touched_col_slices, s.col_valid_slices);
+  // Every set bit lives in exactly one valid slice; slices are
+  // non-empty.
+  EXPECT_LE(s.row_valid_slices, g.num_edges());
+  EXPECT_LE(s.col_valid_slices, g.num_edges());
+  EXPECT_EQ(m.rows().set_bit_count(), g.num_edges());
+  EXPECT_EQ(m.cols().set_bit_count(), g.num_edges());
+  EXPECT_EQ(s.CompressedBytes(),
+            (s.row_valid_slices + s.col_valid_slices) * 12);
+}
+
+TEST_P(FamilySeedTest, ExecStatsConservation) {
+  const Graph g = MakeGraph();
+  core::TcimConfig c;
+  c.array.capacity_bytes = 512ULL << 10;
+  const core::TcimResult r = core::TcimAccelerator{c}.Run(g);
+  EXPECT_EQ(r.exec.cache.hits + r.exec.cache.misses, r.exec.valid_pairs);
+  EXPECT_EQ(r.exec.col_slice_writes, r.exec.cache.misses);
+  EXPECT_LE(r.exec.cache.exchanges, r.exec.cache.misses);
+  EXPECT_EQ(r.exec.valid_pairs, r.slices.valid_pairs);
+  EXPECT_EQ(r.exec.edges_processed, g.num_edges());
+  // Misses can never be fewer than the distinct column slices touched.
+  EXPECT_GE(r.exec.cache.misses, r.slices.touched_col_slices);
+  // Triangles bound: at most wedges/3.
+  EXPECT_LE(3 * r.triangles, graph::WedgeCount(g));
+}
+
+TEST_P(FamilySeedTest, CapacityMonotonicity) {
+  const Graph g = MakeGraph();
+  std::uint64_t prev_exchanges = ~0ULL;
+  for (const std::uint64_t capacity :
+       {64ULL << 10, 256ULL << 10, 2ULL << 20}) {
+    core::TcimConfig c;
+    c.array.capacity_bytes = capacity;
+    const core::TcimResult r = core::TcimAccelerator{c}.Run(g);
+    // Growing the array can only reduce eviction pressure.
+    EXPECT_LE(r.exec.cache.exchanges, prev_exchanges)
+        << "capacity=" << capacity;
+    prev_exchanges = r.exec.cache.exchanges;
+  }
+}
+
+std::string CaseName(
+    const ::testing::TestParamInfo<std::tuple<FamilyCase, std::uint64_t>>&
+        info) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s_seed%llu",
+                std::get<0>(info.param).name,
+                static_cast<unsigned long long>(std::get<1>(info.param)));
+  return buf;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FamilySeedTest,
+    ::testing::Combine(::testing::ValuesIn(kFamilies),
+                       ::testing::Values(1u, 2u, 3u)),
+    CaseName);
+
+}  // namespace
+}  // namespace tcim

@@ -1,0 +1,118 @@
+// Tests for the STT-MRAM reliability models.
+#include <gtest/gtest.h>
+
+#include "device/reliability.h"
+
+namespace tcim::device {
+namespace {
+
+TEST(Retention, ZeroTimeMeansNoFailure) {
+  EXPECT_DOUBLE_EQ(RetentionFailureProbability(60.0, 0.0), 0.0);
+}
+
+TEST(Retention, HigherDeltaIsMoreStable) {
+  const double ten_years = 10 * 365.25 * 86400.0;
+  const double p40 = RetentionFailureProbability(40.0, ten_years);
+  const double p60 = RetentionFailureProbability(60.0, ten_years);
+  const double p80 = RetentionFailureProbability(80.0, ten_years);
+  EXPECT_GT(p40, p60);
+  EXPECT_GT(p60, p80);
+  // Delta = 40 is NOT retention grade over 10 years; Delta = 80 is.
+  EXPECT_GT(p40, 0.5);
+  EXPECT_LT(p80, 1e-9);
+}
+
+TEST(Retention, MonotoneInTime) {
+  double prev = 0.0;
+  for (const double t : {1.0, 1e3, 1e6, 1e9}) {
+    const double p = RetentionFailureProbability(45.0, t);
+    EXPECT_GE(p, prev);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+}
+
+TEST(Retention, RejectsNonPhysical) {
+  EXPECT_THROW((void)RetentionFailureProbability(0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)RetentionFailureProbability(60.0, -1.0),
+               std::invalid_argument);
+}
+
+TEST(ReadDisturb, ZeroCurrentEqualsRetention) {
+  const double p_disturb = ReadDisturbProbability(60.0, 0.0, 100e-6, 1e-9);
+  const double p_retention = RetentionFailureProbability(60.0, 1e-9);
+  EXPECT_DOUBLE_EQ(p_disturb, p_retention);
+}
+
+TEST(ReadDisturb, GrowsWithReadCurrent) {
+  double prev = 0.0;
+  for (const double i : {10e-6, 30e-6, 60e-6, 90e-6}) {
+    const double p = ReadDisturbProbability(60.0, i, 100e-6, 10e-9);
+    EXPECT_GT(p, prev) << i;
+    prev = p;
+  }
+}
+
+TEST(ReadDisturb, AboveCriticalIsCertain) {
+  EXPECT_DOUBLE_EQ(ReadDisturbProbability(60.0, 120e-6, 100e-6, 1e-9),
+                   1.0);
+}
+
+TEST(ReadDisturb, PaperDeviceIsReadStable) {
+  // The Table I cell senses at ~47 uA against Ic ~137 uA with
+  // Delta ~109: disturb per ns-scale sense event must be negligible.
+  const MtjDevice dev(PaperMtjParams());
+  const MtjElectrical& e = dev.Characterize();
+  const double p = ReadDisturbProbability(
+      e.thermal_stability, e.i_read_1, e.critical_current, 2e-9);
+  EXPECT_LT(p, 1e-15);
+}
+
+TEST(SenseError, HalfAtZeroMargin) {
+  EXPECT_DOUBLE_EQ(SenseErrorProbability(0.0, 1e-6), 0.5);
+}
+
+TEST(SenseError, ShrinksWithMargin) {
+  const double sigma = 1e-6;
+  double prev = 0.5;
+  for (const double margin : {0.5e-6, 1e-6, 2e-6, 4e-6}) {
+    const double p = SenseErrorProbability(margin, sigma);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+  // 5-sigma margin: < 3e-7.
+  EXPECT_LT(SenseErrorProbability(5e-6, 1e-6), 3e-7);
+}
+
+TEST(SenseError, RejectsBadSigma) {
+  EXPECT_THROW((void)SenseErrorProbability(1e-6, 0.0), std::invalid_argument);
+}
+
+TEST(AndReliability, CombinesMechanisms) {
+  const MtjDevice dev(PaperMtjParams());
+  const AndReliability r = AndBitErrorRate(dev, /*sigma=*/0.5e-6,
+                                           /*pulse=*/2e-9);
+  EXPECT_GT(r.sense_error, 0.0);
+  EXPECT_GE(r.per_bit_error, r.sense_error);
+  EXPECT_LE(r.per_bit_error, 1.0);
+  // The paper's AND margin (~5.3 uA) against 0.5 uA noise: ~10 sigma,
+  // essentially error-free.
+  EXPECT_LT(r.per_bit_error, 1e-12);
+}
+
+TEST(AndReliability, NoisierSenseAmpIsWorse) {
+  const MtjDevice dev(PaperMtjParams());
+  const double quiet = AndBitErrorRate(dev, 0.5e-6, 2e-9).per_bit_error;
+  const double noisy = AndBitErrorRate(dev, 3e-6, 2e-9).per_bit_error;
+  EXPECT_GT(noisy, quiet);
+}
+
+TEST(ExpectedCountError, ScalesWithWork) {
+  EXPECT_DOUBLE_EQ(ExpectedCountError(1e-9, 1000000, 64), 1e-9 * 64e6);
+  EXPECT_DOUBLE_EQ(ExpectedCountError(0.0, 1000000, 64), 0.0);
+  EXPECT_THROW((void)ExpectedCountError(1.5, 10, 64), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcim::device

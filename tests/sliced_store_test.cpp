@@ -1,0 +1,278 @@
+// Tests for the compressed valid-slice representation (paper §IV-B):
+// SlicedStore packing/round-trip and SlicedMatrix pair enumeration +
+// statistics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bitmatrix/sliced_matrix.h"
+#include "bitmatrix/sliced_store.h"
+#include "util/rng.h"
+
+namespace tcim::bit {
+namespace {
+
+/// Builds a store from explicit per-vector position lists.
+SlicedStore MakeStore(std::uint32_t num_vectors, std::uint64_t universe,
+                      const std::vector<std::vector<std::uint32_t>>& rows,
+                      std::uint32_t slice_bits) {
+  std::vector<std::uint64_t> offsets = {0};
+  std::vector<std::uint32_t> positions;
+  for (const auto& row : rows) {
+    positions.insert(positions.end(), row.begin(), row.end());
+    offsets.push_back(positions.size());
+  }
+  return SlicedStore::FromCsr(num_vectors, universe, offsets, positions,
+                              slice_bits);
+}
+
+TEST(SlicedStore, EmptyStoreHasNoSlices) {
+  const SlicedStore s = MakeStore(3, 100, {{}, {}, {}}, 64);
+  EXPECT_EQ(s.valid_slice_count(), 0u);
+  EXPECT_EQ(s.compressed_bytes(), 0u);
+  EXPECT_EQ(s.set_bit_count(), 0u);
+  EXPECT_EQ(s.SliceCount(0), 0u);
+}
+
+TEST(SlicedStore, SingleBitMakesOneValidSlice) {
+  const SlicedStore s = MakeStore(1, 1000, {{130}}, 64);
+  EXPECT_EQ(s.valid_slice_count(), 1u);
+  ASSERT_EQ(s.SliceIndices(0).size(), 1u);
+  EXPECT_EQ(s.SliceIndices(0)[0], 130u / 64u);
+  EXPECT_EQ(s.SliceWords(0, 0)[0], 1ULL << (130 % 64));
+}
+
+TEST(SlicedStore, BitsInSameSliceShareIt) {
+  const SlicedStore s = MakeStore(1, 256, {{64, 65, 100, 127}}, 64);
+  EXPECT_EQ(s.valid_slice_count(), 1u);
+  EXPECT_EQ(s.set_bit_count(), 4u);
+}
+
+TEST(SlicedStore, BitsInDifferentSlicesSplit) {
+  const SlicedStore s = MakeStore(1, 256, {{0, 64, 128, 192}}, 64);
+  EXPECT_EQ(s.valid_slice_count(), 4u);
+  const auto idx = s.SliceIndices(0);
+  EXPECT_EQ(std::vector<std::uint32_t>(idx.begin(), idx.end()),
+            (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(SlicedStore, CompressedBytesFollowsPaperFormula) {
+  // NVS * (|S|/8 + 4) bytes.
+  const SlicedStore s = MakeStore(2, 512, {{0, 100, 200}, {300}}, 64);
+  EXPECT_EQ(s.compressed_bytes(), s.valid_slice_count() * (64 / 8 + 4));
+}
+
+TEST(SlicedStore, SlicesPerVectorIsCeilUniverseOverS) {
+  const SlicedStore s = MakeStore(1, 100, {{}}, 64);
+  EXPECT_EQ(s.slices_per_vector(), 2u);  // ceil(100/64)
+  const SlicedStore t = MakeStore(1, 128, {{}}, 64);
+  EXPECT_EQ(t.slices_per_vector(), 2u);
+  const SlicedStore u = MakeStore(1, 129, {{}}, 64);
+  EXPECT_EQ(u.slices_per_vector(), 3u);
+}
+
+TEST(SlicedStore, NonPowerOfTwoSliceBits) {
+  const SlicedStore s = MakeStore(1, 100, {{0, 47, 48, 99}}, 48);
+  // positions 0,47 -> slice 0; 48 -> slice 1; 99 -> slice 2.
+  EXPECT_EQ(s.valid_slice_count(), 3u);
+  EXPECT_EQ(s.set_bit_count(), 4u);
+  const BitVector round = s.ToBitVector(0);
+  EXPECT_TRUE(round.Get(0));
+  EXPECT_TRUE(round.Get(47));
+  EXPECT_TRUE(round.Get(48));
+  EXPECT_TRUE(round.Get(99));
+  EXPECT_EQ(round.Count(), 4u);
+}
+
+TEST(SlicedStore, MultiWordSlices) {
+  // 128-bit slices: two words per slice.
+  const SlicedStore s = MakeStore(1, 1024, {{0, 64, 127, 128}}, 128);
+  EXPECT_EQ(s.words_per_slice(), 2u);
+  EXPECT_EQ(s.valid_slice_count(), 2u);  // slice 0 (0..127), slice 1 (128)
+  const auto w0 = s.SliceWords(0, 0);
+  EXPECT_EQ(w0[0], (1ULL << 0) | (1ULL << 64 % 64));  // bits 0 and 64? no:
+  // bit 0 -> word0 bit0; bit 64 -> word1 bit0; bit 127 -> word1 bit63.
+  EXPECT_EQ(w0[0], 1ULL);
+  EXPECT_EQ(w0[1], 1ULL | (1ULL << 63));
+}
+
+TEST(SlicedStore, RoundTripRandom) {
+  util::Xoshiro256 rng(77);
+  for (const std::uint32_t slice_bits : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    std::vector<std::vector<std::uint32_t>> rows(20);
+    std::vector<BitVector> reference(20, BitVector(700));
+    for (int v = 0; v < 20; ++v) {
+      std::uint32_t pos = 0;
+      while (true) {
+        pos += 1 + static_cast<std::uint32_t>(rng.UniformBelow(60));
+        if (pos >= 700) break;
+        rows[v].push_back(pos);
+        reference[v].Set(pos);
+      }
+    }
+    const SlicedStore s = MakeStore(20, 700, rows, slice_bits);
+    for (std::uint32_t v = 0; v < 20; ++v) {
+      EXPECT_EQ(s.ToBitVector(v), reference[v])
+          << "slice_bits=" << slice_bits << " v=" << v;
+    }
+  }
+}
+
+TEST(SlicedStore, ForEachSetBitVisitsInOrder) {
+  const std::vector<std::uint32_t> positions = {3, 64, 65, 200, 500};
+  const SlicedStore s =
+      MakeStore(1, 512, {positions}, 64);
+  std::vector<std::uint64_t> visited;
+  s.ForEachSetBit(0, [&](std::uint64_t p) { visited.push_back(p); });
+  EXPECT_EQ(visited, (std::vector<std::uint64_t>{3, 64, 65, 200, 500}));
+}
+
+TEST(SlicedStore, GlobalOrdinalIsStableAndDense) {
+  const SlicedStore s =
+      MakeStore(3, 256, {{0, 64}, {}, {128, 192}}, 64);
+  EXPECT_EQ(s.GlobalOrdinal(0, 0), 0u);
+  EXPECT_EQ(s.GlobalOrdinal(0, 1), 1u);
+  EXPECT_EQ(s.GlobalOrdinal(2, 0), 2u);
+  EXPECT_EQ(s.GlobalOrdinal(2, 1), 3u);
+  EXPECT_THROW((void)s.GlobalOrdinal(1, 0), std::out_of_range);
+  EXPECT_THROW((void)s.GlobalOrdinal(3, 0), std::out_of_range);
+}
+
+TEST(SlicedStore, RejectsMalformedInput) {
+  const std::vector<std::uint64_t> offsets = {0, 2};
+  const std::vector<std::uint32_t> unsorted = {10, 5};
+  EXPECT_THROW(
+      SlicedStore::FromCsr(1, 100, offsets, unsorted, 64),
+      std::invalid_argument);
+  const std::vector<std::uint32_t> dup = {5, 5};
+  EXPECT_THROW(SlicedStore::FromCsr(1, 100, offsets, dup, 64),
+               std::invalid_argument);
+  const std::vector<std::uint32_t> out = {5, 200};
+  EXPECT_THROW(SlicedStore::FromCsr(1, 100, offsets, out, 64),
+               std::invalid_argument);
+  const std::vector<std::uint32_t> ok = {5, 10};
+  EXPECT_THROW(SlicedStore::FromCsr(1, 100, offsets, ok, 0),
+               std::invalid_argument);
+  EXPECT_THROW(SlicedStore::FromCsr(1, 100, offsets, ok, 1000),
+               std::invalid_argument);
+  const std::vector<std::uint64_t> bad_offsets = {1, 2};
+  EXPECT_THROW(SlicedStore::FromCsr(1, 100, bad_offsets, ok, 64),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// SlicedMatrix
+
+/// Small oriented CSR: arcs 0->1, 0->2, 1->2, 1->3, 2->3 (Fig. 2).
+SlicedMatrix Fig2Matrix(std::uint32_t slice_bits = 64) {
+  const std::vector<std::uint64_t> offsets = {0, 2, 4, 5, 5};
+  const std::vector<std::uint32_t> neighbors = {1, 2, 2, 3, 3};
+  return SlicedMatrix::FromCsr(4, offsets, neighbors, slice_bits);
+}
+
+TEST(SlicedMatrix, Fig2RowAndColumnStores) {
+  const SlicedMatrix m = Fig2Matrix();
+  EXPECT_EQ(m.num_vertices(), 4u);
+  EXPECT_EQ(m.edge_count(), 5u);
+  // Row 0 = {1,2}; column 3 = {1,2}.
+  EXPECT_EQ(m.rows().ToBitVector(0).Count(), 2u);
+  EXPECT_TRUE(m.cols().ToBitVector(3).Get(1));
+  EXPECT_TRUE(m.cols().ToBitVector(3).Get(2));
+}
+
+TEST(SlicedMatrix, Fig2BitwiseCountIsTwoTriangles) {
+  // With the upper-triangular orientation Eq. (5) counts each triangle
+  // exactly once: the paper's example totals 2.
+  EXPECT_EQ(Fig2Matrix().AndPopcountAllEdges(), 2u);
+}
+
+TEST(SlicedMatrix, Fig2WorksAtAllSliceWidths) {
+  for (const std::uint32_t s : {1u, 2u, 3u, 4u, 8u, 16u, 32u, 64u}) {
+    EXPECT_EQ(Fig2Matrix(s).AndPopcountAllEdges(), 2u) << "slice=" << s;
+  }
+}
+
+TEST(SlicedMatrix, ColumnStoreIsTranspose) {
+  util::Xoshiro256 rng(31);
+  const std::uint32_t n = 80;
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(0.1)) adj[i].push_back(j);
+    }
+  }
+  std::vector<std::uint64_t> offsets = {0};
+  std::vector<std::uint32_t> neighbors;
+  for (const auto& row : adj) {
+    neighbors.insert(neighbors.end(), row.begin(), row.end());
+    offsets.push_back(neighbors.size());
+  }
+  const SlicedMatrix m = SlicedMatrix::FromCsr(n, offsets, neighbors, 64);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const BitVector row = m.rows().ToBitVector(i);
+    row.ForEachSetBit([&](std::uint64_t j) {
+      EXPECT_TRUE(
+          m.cols().ToBitVector(static_cast<std::uint32_t>(j)).Get(i));
+    });
+  }
+  EXPECT_EQ(m.rows().set_bit_count(), m.cols().set_bit_count());
+}
+
+TEST(SlicedMatrix, ForEachValidPairMergesSortedIndices) {
+  // 256 vertices; row 0 -> {1, 130, 200}, everything else empty.
+  std::vector<std::uint64_t> offsets(257, 3);
+  offsets[0] = 0;
+  const std::vector<std::uint32_t> neighbors = {1, 130, 200};
+  const SlicedMatrix m = SlicedMatrix::FromCsr(256, offsets, neighbors, 64);
+  // Row 0 valid slices: {0 (bit 1), 2 (bit 130), 3 (bit 200)}.
+  std::vector<std::uint32_t> visited;
+  m.ForEachValidPair(0, 130, [&](std::uint32_t k, std::size_t,
+                                 std::size_t) { visited.push_back(k); });
+  // Column 130 contains only vertex 0 -> slice 0; common slice = {0}.
+  EXPECT_EQ(visited, (std::vector<std::uint32_t>{0}));
+}
+
+TEST(SlicedMatrix, StatsInvariants) {
+  const SlicedMatrix m = Fig2Matrix();
+  const SliceStats stats = m.ComputeStats();
+  EXPECT_EQ(stats.edges, 5u);
+  EXPECT_EQ(stats.valid_pairs, 5u);  // n=4 fits in one slice: all valid
+  EXPECT_EQ(stats.total_pairs, 5u * 1u);
+  EXPECT_LE(stats.touched_row_slices, stats.row_valid_slices);
+  EXPECT_LE(stats.touched_col_slices, stats.col_valid_slices);
+  EXPECT_EQ(stats.CompressedBytes(),
+            (stats.row_valid_slices + stats.col_valid_slices) * 12);
+  EXPECT_GT(stats.ValidSliceFraction(), 0.0);
+  EXPECT_LE(stats.ValidSliceFraction(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.ValidPairFraction(), 1.0);
+}
+
+TEST(SlicedMatrix, SparsityReducesValidPairFraction) {
+  // A large sparse ring: most (row, col) slice pairs are invalid.
+  const std::uint32_t n = 4096;
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  std::vector<std::uint32_t> neighbors;
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    neighbors.push_back(i + 1);
+    offsets[i + 1] = neighbors.size();
+  }
+  offsets[n] = neighbors.size();
+  const SlicedMatrix m = SlicedMatrix::FromCsr(n, offsets, neighbors, 64);
+  const SliceStats stats = m.ComputeStats();
+  EXPECT_LT(stats.ValidPairFraction(), 0.05);
+  EXPECT_LT(stats.ValidSliceFraction(), 0.05);
+}
+
+TEST(SlicedMatrix, RejectsOutOfRangeNeighbor) {
+  const std::vector<std::uint64_t> offsets = {0, 1};
+  const std::vector<std::uint32_t> neighbors = {5};
+  EXPECT_THROW(SlicedMatrix::FromCsr(1, offsets, neighbors, 64),
+               std::invalid_argument);
+}
+
+TEST(SlicedMatrix, HeapBytesPositiveForNonEmpty) {
+  EXPECT_GT(Fig2Matrix().HeapBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace tcim::bit

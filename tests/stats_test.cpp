@@ -1,0 +1,124 @@
+// Tests for graph statistics: degrees, wedges, transitivity, local
+// clustering.
+#include <gtest/gtest.h>
+
+#include "baseline/cpu_tc.h"
+#include "graph/generators.h"
+#include "graph/stats.h"
+
+namespace tcim::graph {
+namespace {
+
+TEST(DegreeSummary, CompleteGraph) {
+  const DegreeSummary s = SummarizeDegrees(Complete(10));
+  EXPECT_EQ(s.min, 9u);
+  EXPECT_EQ(s.max, 9u);
+  EXPECT_DOUBLE_EQ(s.mean, 9.0);
+  EXPECT_EQ(s.median, 9u);
+  EXPECT_EQ(s.isolated_vertices, 0u);
+}
+
+TEST(DegreeSummary, StarGraph) {
+  const DegreeSummary s = SummarizeDegrees(Star(101));
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 100u);
+  EXPECT_EQ(s.median, 1u);
+}
+
+TEST(DegreeSummary, CountsIsolatedVertices) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  const DegreeSummary s = SummarizeDegrees(std::move(b).Build());
+  EXPECT_EQ(s.isolated_vertices, 3u);
+}
+
+TEST(DegreeSummary, EmptyGraphIsZero) {
+  const DegreeSummary s = SummarizeDegrees(GraphBuilder(0).Build());
+  EXPECT_EQ(s.max, 0u);
+}
+
+TEST(WedgeCount, ClosedForms) {
+  // K_n: n * C(n-1, 2) wedges.
+  EXPECT_EQ(WedgeCount(Complete(5)), 5u * 6u);
+  // Path of n vertices: n-2 wedges.
+  EXPECT_EQ(WedgeCount(Path(10)), 8u);
+  // Star: C(n-1, 2) wedges at the hub.
+  EXPECT_EQ(WedgeCount(Star(7)), 15u);
+  // Cycle: one wedge per vertex.
+  EXPECT_EQ(WedgeCount(Cycle(9)), 9u);
+}
+
+TEST(Transitivity, CompleteGraphIsOne) {
+  const Graph g = Complete(12);
+  const std::uint64_t t = baseline::CountTrianglesReference(g);
+  EXPECT_DOUBLE_EQ(Transitivity(g, t), 1.0);
+}
+
+TEST(Transitivity, TriangleFreeIsZero) {
+  const Graph g = CompleteBipartite(6, 8);
+  EXPECT_DOUBLE_EQ(Transitivity(g, 0), 0.0);
+}
+
+TEST(Transitivity, BetweenZeroAndOne) {
+  const Graph g = HolmeKim(1000, 6000, 0.7, 1);
+  const std::uint64_t t = baseline::CountTrianglesReference(g);
+  const double trans = Transitivity(g, t);
+  EXPECT_GT(trans, 0.0);
+  EXPECT_LE(trans, 1.0);
+}
+
+TEST(Transitivity, WedgelessGraphIsZero) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  EXPECT_DOUBLE_EQ(Transitivity(std::move(b).Build(), 0), 0.0);
+}
+
+TEST(LocalClustering, CompleteGraphIsOne) {
+  EXPECT_DOUBLE_EQ(AverageLocalClustering(Complete(8), 1000, 1), 1.0);
+}
+
+TEST(LocalClustering, TriangleFreeIsZero) {
+  EXPECT_DOUBLE_EQ(AverageLocalClustering(GridLattice(10, 10), 1000, 1),
+                   0.0);
+}
+
+TEST(LocalClustering, SampledTracksExhaustive) {
+  const Graph g = HolmeKim(2000, 10000, 0.8, 2);
+  const double exact = AverageLocalClustering(g, g.num_vertices(), 1);
+  const double sampled = AverageLocalClustering(g, 500, 7);
+  EXPECT_NEAR(sampled, exact, 0.1);
+  EXPECT_GT(exact, 0.1);  // Holme-Kim with p=0.8 is strongly clustered
+}
+
+TEST(LocalClustering, DeterministicForSeed) {
+  const Graph g = ErdosRenyi(500, 4000, 3);
+  EXPECT_DOUBLE_EQ(AverageLocalClustering(g, 100, 5),
+                   AverageLocalClustering(g, 100, 5));
+}
+
+TEST(Log2Histogram, BucketsDegreesCorrectly) {
+  // Star(5): hub degree 4 -> bucket 3 ([4,8)); leaves degree 1 ->
+  // bucket 1 ([1,2)).
+  const auto hist = Log2DegreeHistogram(Star(5));
+  ASSERT_GE(hist.size(), 4u);
+  EXPECT_EQ(hist[1], 4u);  // 4 leaves
+  EXPECT_EQ(hist[3], 1u);  // hub
+}
+
+TEST(Log2Histogram, CountsSumToVertices) {
+  const Graph g = Rmat(1024, 8000, RmatParams{}, 4);
+  const auto hist = Log2DegreeHistogram(g);
+  std::uint64_t total = 0;
+  for (const auto c : hist) total += c;
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+TEST(Log2Histogram, PowerLawHasLongTail) {
+  const Graph rmat = Rmat(4096, 40000, RmatParams{}, 5);
+  const Graph er = ErdosRenyi(4096, 40000, 5);
+  EXPECT_GT(Log2DegreeHistogram(rmat).size(),
+            Log2DegreeHistogram(er).size());
+}
+
+}  // namespace
+}  // namespace tcim::graph

@@ -1,0 +1,188 @@
+// Tests for the k-truss extension: per-edge supports (CPU vs TCIM
+// in-memory kernel), peeling decomposition vs the naive reference, and
+// closed-form trussness of known families.
+#include <gtest/gtest.h>
+
+#include "baseline/cpu_tc.h"
+#include "baseline/truss_ref.h"
+#include "core/edge_support.h"
+#include "core/truss.h"
+#include "graph/generators.h"
+
+namespace tcim::core {
+namespace {
+
+using graph::Graph;
+
+TcimAccelerator SmallAccel() {
+  TcimConfig config;
+  config.array.capacity_bytes = 1ULL << 20;
+  return TcimAccelerator{config};
+}
+
+Graph Bowtie() {
+  // Two triangles sharing edge (1,2).
+  graph::GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  return std::move(b).Build();
+}
+
+TEST(EdgeSupports, CpuMatchesKnownValues) {
+  const EdgeSupports s = ComputeEdgeSupportsCpu(Bowtie());
+  // ForEachEdge order: (0,1),(0,2),(1,2),(1,3),(2,3).
+  EXPECT_EQ(s.support,
+            (std::vector<std::uint32_t>{1, 1, 2, 1, 1}));
+  EXPECT_EQ(s.TriangleCount(), 2u);
+}
+
+TEST(EdgeSupports, TriangleCountIdentityOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = graph::HolmeKim(300, 1800, 0.7, seed);
+    const EdgeSupports s = ComputeEdgeSupportsCpu(g);
+    EXPECT_EQ(s.TriangleCount(), baseline::CountTrianglesReference(g))
+        << seed;
+  }
+}
+
+TEST(EdgeSupports, TcimKernelMatchesCpu) {
+  const TcimAccelerator accel = SmallAccel();
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = graph::ErdosRenyi(250, 2200, seed);
+    const EdgeSupports cpu = ComputeEdgeSupportsCpu(g);
+    const EdgeSupports pim = ComputeEdgeSupportsTcim(g, accel);
+    ASSERT_EQ(pim.support, cpu.support) << seed;
+  }
+}
+
+TEST(EdgeSupports, TcimReportsExecStats) {
+  const TcimAccelerator accel = SmallAccel();
+  const Graph g = graph::HolmeKim(500, 3000, 0.6, 9);
+  TcimResult result;
+  const EdgeSupports s = ComputeEdgeSupportsTcim(g, accel, &result);
+  // Symmetric matrix: every undirected edge visited twice.
+  EXPECT_EQ(result.exec.edges_processed, 2 * g.num_edges());
+  // Accumulated bitcount = Sum of supports over both arc directions
+  // = 6T; TriangleCount identity must hold.
+  EXPECT_EQ(result.triangles, s.TriangleCount());
+  EXPECT_GT(result.perf.serial_seconds, 0.0);
+}
+
+TEST(Truss, CompleteGraphIsNTruss) {
+  for (const graph::VertexId n : {3u, 4u, 5u, 7u}) {
+    const TrussResult r = DecomposeTrussCpu(graph::Complete(n));
+    EXPECT_EQ(r.max_truss, n) << n;
+    for (const std::uint32_t t : r.trussness) {
+      EXPECT_EQ(t, n);
+    }
+  }
+}
+
+TEST(Truss, TriangleFreeGraphsAreTwoTruss) {
+  for (const auto& g :
+       {graph::Cycle(10), graph::Star(10), graph::GridLattice(5, 5),
+        graph::CompleteBipartite(4, 5)}) {
+    const TrussResult r = DecomposeTrussCpu(g);
+    EXPECT_EQ(r.max_truss, 2u);
+    for (const std::uint32_t t : r.trussness) {
+      EXPECT_EQ(t, 2u);
+    }
+  }
+}
+
+TEST(Truss, BowtieIsAllThreeTruss) {
+  const TrussResult r = DecomposeTrussCpu(Bowtie());
+  EXPECT_EQ(r.max_truss, 3u);
+  for (const std::uint32_t t : r.trussness) {
+    EXPECT_EQ(t, 3u);
+  }
+}
+
+TEST(Truss, CliquePlusPendantSeparates) {
+  // K4 plus a pendant edge: clique edges trussness 4, pendant 2.
+  graph::GraphBuilder b(5);
+  for (graph::VertexId u = 0; u < 4; ++u) {
+    for (graph::VertexId v = u + 1; v < 4; ++v) b.AddEdge(u, v);
+  }
+  b.AddEdge(3, 4);
+  const Graph g = std::move(b).Build();
+  const TrussResult r = DecomposeTrussCpu(g);
+  EXPECT_EQ(r.max_truss, 4u);
+  std::uint64_t edge_id = 0;
+  g.ForEachEdge([&](graph::VertexId u, graph::VertexId v) {
+    if (v == 4) {
+      EXPECT_EQ(r.trussness[edge_id], 2u) << u << "-" << v;
+    } else {
+      EXPECT_EQ(r.trussness[edge_id], 4u) << u << "-" << v;
+    }
+    ++edge_id;
+  });
+}
+
+TEST(Truss, MatchesNaiveReferenceOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = graph::ErdosRenyi(60, 320, seed);
+    const TrussResult fast = DecomposeTrussCpu(g);
+    const std::vector<std::uint32_t> ref =
+        baseline::TrussDecompositionReference(g);
+    ASSERT_EQ(fast.trussness, ref) << "seed=" << seed;
+  }
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = graph::HolmeKim(80, 480, 0.8, seed);
+    const TrussResult fast = DecomposeTrussCpu(g);
+    ASSERT_EQ(fast.trussness, baseline::TrussDecompositionReference(g))
+        << "seed=" << seed;
+  }
+}
+
+TEST(Truss, TcimSupportsFeedTheSameDecomposition) {
+  const TcimAccelerator accel = SmallAccel();
+  const Graph g = graph::HolmeKim(300, 2100, 0.8, 3);
+  const TrussResult from_cpu = DecomposeTrussCpu(g);
+  const TrussResult from_pim =
+      DecomposeTruss(g, ComputeEdgeSupportsTcim(g, accel).support);
+  EXPECT_EQ(from_cpu.trussness, from_pim.trussness);
+  EXPECT_EQ(from_cpu.max_truss, from_pim.max_truss);
+}
+
+TEST(Truss, HistogramAndKTrussCountsAreConsistent) {
+  const Graph g = graph::HolmeKim(400, 2400, 0.7, 5);
+  const TrussResult r = DecomposeTrussCpu(g);
+  const auto hist = r.Histogram();
+  std::uint64_t total = 0;
+  for (const auto c : hist) total += c;
+  EXPECT_EQ(total, g.num_edges());
+  // KTrussEdgeCount(k) is the tail sum of the histogram.
+  for (std::uint32_t k = 2; k <= r.max_truss; ++k) {
+    std::uint64_t tail = 0;
+    for (std::uint32_t t = k; t <= r.max_truss; ++t) tail += hist[t];
+    EXPECT_EQ(r.KTrussEdgeCount(k), tail) << "k=" << k;
+  }
+  // Monotone non-increasing in k; k=2 covers everything.
+  EXPECT_EQ(r.KTrussEdgeCount(2), g.num_edges());
+  for (std::uint32_t k = 3; k <= r.max_truss; ++k) {
+    EXPECT_LE(r.KTrussEdgeCount(k), r.KTrussEdgeCount(k - 1));
+  }
+  EXPECT_GT(r.KTrussEdgeCount(r.max_truss), 0u);
+  EXPECT_EQ(r.KTrussEdgeCount(r.max_truss + 1), 0u);
+}
+
+TEST(Truss, EmptyAndTinyGraphs) {
+  const TrussResult empty = DecomposeTrussCpu(graph::GraphBuilder(5).Build());
+  EXPECT_EQ(empty.max_truss, 2u);
+  EXPECT_TRUE(empty.trussness.empty());
+  const TrussResult single_edge = DecomposeTrussCpu(graph::Path(2));
+  EXPECT_EQ(single_edge.trussness, (std::vector<std::uint32_t>{2}));
+}
+
+TEST(Truss, RejectsMismatchedSupportVector) {
+  EXPECT_THROW(
+      DecomposeTruss(Bowtie(), std::vector<std::uint32_t>{1, 2}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcim::core

@@ -1,0 +1,255 @@
+// Tests for src/util: deterministic RNG, table rendering, unit
+// formatting, env knobs, timers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+#include "util/units.h"
+
+namespace tcim::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  EXPECT_EQ(SplitMix64(0), SplitMix64(0));
+  EXPECT_EQ(SplitMix64(42), SplitMix64(42));
+}
+
+TEST(SplitMix64, DistinctInputsGiveDistinctOutputs) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    outputs.insert(SplitMix64(i));
+  }
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(Xoshiro256, SameSeedSameStream) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro256, ZeroSeedIsNotDegenerate) {
+  Xoshiro256 rng(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng());
+  EXPECT_GT(seen.size(), 90u);
+}
+
+TEST(Xoshiro256, UniformBelowRespectsBound) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformBelow(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, UniformBelowZeroBoundIsZero) {
+  Xoshiro256 rng(7);
+  EXPECT_EQ(rng.UniformBelow(0), 0u);
+}
+
+TEST(Xoshiro256, UniformBelowIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.UniformBelow(kBuckets)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(Xoshiro256, UniformInRangeInclusive) {
+  Xoshiro256 rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.UniformInRange(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro256, UniformDoubleInUnitInterval) {
+  Xoshiro256 rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, GaussianMoments) {
+  Xoshiro256 rng(13);
+  double sum = 0;
+  double sq = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.Gaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.03);
+  EXPECT_NEAR(sq / kN, 1.0, 0.05);
+}
+
+TEST(Xoshiro256, ForkDecorrelates) {
+  Xoshiro256 parent(21);
+  Xoshiro256 child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro256, BernoulliExtremes) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(TablePrinter, RendersMarkdownPipes) {
+  TablePrinter t({"A", "B"});
+  t.AddRow({"x", "1"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| A"), std::string::npos);
+  EXPECT_NE(out.find("| x"), std::string::npos);
+  EXPECT_NE(out.find("- | -"), std::string::npos);  // separator rule
+}
+
+TEST(TablePrinter, RejectsMismatchedRow) {
+  TablePrinter t({"A", "B"});
+  EXPECT_THROW(t.AddRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, RejectsEmptyHeaders) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(TablePrinter, RejectsMismatchedAlignments) {
+  EXPECT_THROW(TablePrinter({"A", "B"}, {Align::kLeft}),
+               std::invalid_argument);
+}
+
+TEST(TablePrinter, FormattingHelpers) {
+  EXPECT_EQ(TablePrinter::Fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::WithThousands(1234567), "1,234,567");
+  EXPECT_EQ(TablePrinter::WithThousands(1), "1");
+  EXPECT_EQ(TablePrinter::WithThousands(999), "999");
+  EXPECT_EQ(TablePrinter::WithThousands(1000), "1,000");
+  EXPECT_EQ(TablePrinter::Percent(0.72, 0), "72%");
+  EXPECT_EQ(TablePrinter::Ratio(23.42, 1), "23.4x");
+}
+
+TEST(TablePrinter, AlignmentPadsCorrectly) {
+  TablePrinter t({"Name", "Val"}, {Align::kLeft, Align::kRight});
+  t.AddRow({"ab", "7"});
+  t.AddRow({"longer", "123"});
+  std::ostringstream os;
+  t.Print(os, /*markdown=*/false);
+  // Right-aligned "7" must be padded on the left within its column.
+  EXPECT_NE(os.str().find("  7"), std::string::npos);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(FormatBytes(16.8 * kMiB, 1), "16.8 MiB");
+  EXPECT_EQ(FormatBytes(512, 0), "512 B");
+  EXPECT_EQ(FormatBytes(2.0 * kGiB, 0), "2 GiB");
+}
+
+TEST(Units, FormatJoules) {
+  EXPECT_EQ(FormatJoules(1.5e-12, 1), "1.5 pJ");
+  EXPECT_EQ(FormatJoules(2e-9, 0), "2 nJ");
+}
+
+TEST(Units, FormatOhmsAndAmps) {
+  EXPECT_EQ(FormatOhms(625.0, 0), "625 Ohm");
+  EXPECT_EQ(FormatOhms(1.25e3, 2), "1.25 kOhm");
+  EXPECT_EQ(FormatAmps(50e-6, 0), "50 uA");
+}
+
+TEST(Units, PhysicalConstantsSane) {
+  EXPECT_NEAR(kBoltzmann, 1.38e-23, 1e-25);
+  EXPECT_NEAR(kMu0, 1.2566e-6, 1e-9);
+  EXPECT_GT(kGyromagneticRatio, 1e11);
+}
+
+TEST(Env, DoubleFallbackAndClamp) {
+  ::unsetenv("TCIM_TEST_KNOB");
+  EXPECT_DOUBLE_EQ(EnvDouble("TCIM_TEST_KNOB", 0.5, 0.0, 1.0), 0.5);
+  ::setenv("TCIM_TEST_KNOB", "0.75", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("TCIM_TEST_KNOB", 0.5, 0.0, 1.0), 0.75);
+  ::setenv("TCIM_TEST_KNOB", "7.5", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("TCIM_TEST_KNOB", 0.5, 0.0, 1.0), 1.0);
+  ::setenv("TCIM_TEST_KNOB", "garbage", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("TCIM_TEST_KNOB", 0.5, 0.0, 1.0), 0.5);
+  ::unsetenv("TCIM_TEST_KNOB");
+}
+
+TEST(Env, U64FallbackAndParse) {
+  ::unsetenv("TCIM_TEST_SEED");
+  EXPECT_EQ(EnvU64("TCIM_TEST_SEED", 42u), 42u);
+  ::setenv("TCIM_TEST_SEED", "123456789", 1);
+  EXPECT_EQ(EnvU64("TCIM_TEST_SEED", 42u), 123456789u);
+  ::unsetenv("TCIM_TEST_SEED");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  volatile double x = 0;
+  for (int i = 0; i < 1000000; ++i) x = x + 1.0;
+  EXPECT_GT(t.ElapsedSeconds(), 0.0);
+  EXPECT_GT(t.ElapsedNanos(), 0u);
+}
+
+TEST(Timer, FormatSeconds) {
+  EXPECT_EQ(FormatSeconds(1.5), "1.500 s");
+  EXPECT_EQ(FormatSeconds(0.0215), "21.500 ms");
+  EXPECT_EQ(FormatSeconds(3.2e-6), "3.200 us");
+  EXPECT_EQ(FormatSeconds(5e-9), "5.0 ns");
+}
+
+TEST(Timer, TimePerIterationPositive) {
+  const double per_iter = TimePerIteration([] {
+    volatile int x = 0;
+    for (int i = 0; i < 100; ++i) x = x + i;
+  }, 0.01);
+  EXPECT_GT(per_iter, 0.0);
+}
+
+}  // namespace
+}  // namespace tcim::util

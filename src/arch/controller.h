@@ -13,6 +13,11 @@
 // The run is *functionally verified*: the accumulated bit-counter
 // total is the Eq. (5) sum computed entirely through simulated array
 // operations.
+//
+// Layer: §7 arch — see docs/ARCHITECTURE.md. Units: every ExecStats
+// field is a raw operation count (dimensionless); this layer carries
+// no time or energy — core::PerfModel prices the counts with the
+// nvsim::ArrayPerf per-op costs (seconds/joules, SI).
 #pragma once
 
 #include <cstdint>

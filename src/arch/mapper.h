@@ -21,6 +21,8 @@
 // paper's row-reuse), and rows 1..R-1 are cache ways for column
 // slices. Row slices and their column partners are therefore always
 // AND-compatible by construction.
+//
+// Layer: §7 arch — see docs/ARCHITECTURE.md.
 #pragma once
 
 #include <cstdint>

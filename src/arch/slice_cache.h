@@ -14,6 +14,9 @@
 // Taxonomy (Fig. 5): a lookup is a *hit* if the slice is resident; a
 // *miss* otherwise; a miss that must evict a resident slice to make
 // room is additionally an *exchange*.
+//
+// Layer: §7 arch — see docs/ARCHITECTURE.md. Units: CacheStats fields
+// are dimensionless counts; HitRate() lies in [0, 1].
 #pragma once
 
 #include <cstdint>

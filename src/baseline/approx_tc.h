@@ -8,6 +8,8 @@
 //  * Wedge sampling (Seshadhri et al., SDM'13): sample wedges
 //    (length-2 paths) uniformly, measure the closure probability,
 //    then T = closed_fraction * total_wedges / 3.
+//
+// Layer: §9 baseline — see docs/ARCHITECTURE.md.
 #pragma once
 
 #include <cstdint>

@@ -7,6 +7,8 @@
 // (1) the Table V "CPU" column, and (2) mutual cross-checks for every
 // property test in the repository — all five must agree with each
 // other and with the TCIM paths on every input.
+//
+// Layer: §9 baseline — see docs/ARCHITECTURE.md.
 #pragma once
 
 #include <cstdint>

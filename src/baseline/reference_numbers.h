@@ -9,6 +9,10 @@
 // in DESIGN.md §3 — their *published* runtimes are carried as
 // constants through graph::PaperRef, and this header adds the board
 // power assumptions needed for energy comparisons.
+//
+// Layer: §9 baseline — see docs/ARCHITECTURE.md. Units: published
+// runtimes in seconds, assumed board power in watts, derived
+// energies in joules; values < 0 mean the paper reports N/A.
 #pragma once
 
 #include "graph/datasets.h"

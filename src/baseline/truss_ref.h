@@ -5,6 +5,8 @@
 // For k = 3, 4, ...: repeatedly delete every remaining edge whose
 // support *within the remaining subgraph* is < k-2 until a fixpoint;
 // edges deleted while tightening to the (k)-truss have trussness k-1.
+//
+// Layer: §9 baseline — see docs/ARCHITECTURE.md.
 #pragma once
 
 #include <cstdint>

@@ -3,6 +3,8 @@
 // Used for the dense adjacency rows of small graphs (Fig. 2-style
 // walkthroughs, the trace(A^3)/6 reference) and as the ground truth the
 // sliced representation is validated against.
+//
+// Layer: §5 bitmatrix — see docs/ARCHITECTURE.md.
 #pragma once
 
 #include <cstdint>

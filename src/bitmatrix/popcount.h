@@ -6,6 +6,8 @@
 // hardware bit counter), the classic SWAR reduction, and the compiler
 // builtin — all behaviourally identical, which the tests assert and the
 // micro-kernel bench compares for throughput.
+//
+// Layer: §5 bitmatrix — see docs/ARCHITECTURE.md.
 #pragma once
 
 #include <bit>

@@ -6,6 +6,11 @@
 // runs only on *valid slice pairs* — slice index k such that both
 // RiSk and CjSk are valid — enumerated here by merging the two sorted
 // valid-slice index lists.
+//
+// Layer: §5 bitmatrix — see docs/ARCHITECTURE.md. Units:
+// CompressedBytes()/WorkingSetBytes() are bytes under the paper's
+// NVS*(|S|/8+4) formula; slice_bits is |S| in bits; every other
+// SliceStats field is a dimensionless count.
 #pragma once
 
 #include <cstdint>

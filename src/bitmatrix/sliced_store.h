@@ -11,6 +11,9 @@
 // SlicedStore holds one such compressed store for *all* vectors of one
 // orientation (all rows, or all columns) in CSR-like flat arrays, so a
 // multi-million-vertex graph costs three allocations, not millions.
+//
+// Layer: §5 bitmatrix — see docs/ARCHITECTURE.md. Units: storage in
+// bytes, |S| in bits; all other fields are dimensionless counts.
 #pragma once
 
 #include <cstdint>

@@ -12,6 +12,11 @@
 //   tcim::core::TcimAccelerator accel(config);
 //   tcim::core::TcimResult r = accel.Run(graph);
 //   r.triangles, r.perf.serial_seconds, r.exec.cache.HitRate(), ...
+//
+// Layer: §8 core — see docs/ARCHITECTURE.md. Units: all latencies in
+// seconds and energies in joules (SI throughout, util/units.h);
+// capacities in bytes. TcimResult::triangles counts each triangle
+// exactly once regardless of the configured orientation.
 #pragma once
 
 #include <cstdint>

@@ -9,6 +9,8 @@
 //  * the sliced path over the compressed valid-slice stores — this is
 //    the paper's Table V "This Work w/o PIM" configuration (slicing +
 //    reuse running on a plain CPU, no in-memory hardware).
+//
+// Layer: §8 core — see docs/ARCHITECTURE.md.
 #pragma once
 
 #include <cstdint>

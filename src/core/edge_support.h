@@ -10,6 +10,8 @@
 // extension (the paper's GPU/FPGA comparators [2][3] solve TC *and*
 // truss decomposition; the conclusion positions TCIM's machinery as
 // problem-agnostic).
+//
+// Layer: §8 core — see docs/ARCHITECTURE.md.
 #pragma once
 
 #include <cstdint>

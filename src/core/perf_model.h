@@ -15,6 +15,9 @@
 //    different subarrays overlap, each subarray serializes its own
 //    ops; plus the controller issue overhead per command. This is the
 //    upper bound the architecture's bank-level parallelism exposes.
+//
+// Layer: §8 core — see docs/ARCHITECTURE.md. Units: latencies in
+// seconds, energies in joules, power in watts (SI).
 #pragma once
 
 #include <cstdint>

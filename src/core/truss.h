@@ -10,6 +10,8 @@
 // (core/edge_support.h), then the classic peeling algorithm on the
 // host: repeatedly remove the edge of minimum support, fixing up the
 // supports of the other two edges of each destroyed triangle.
+//
+// Layer: §8 core — see docs/ARCHITECTURE.md.
 #pragma once
 
 #include <cstdint>

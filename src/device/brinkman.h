@@ -12,6 +12,9 @@
 // normalize G(0) to the measured RA product at each magnetic state.
 // The TMR itself rolls off with bias through the standard
 // phenomenological TMR(V) = TMR0 / (1 + (V/Vh)^2).
+//
+// Layer: §3 device — see docs/ARCHITECTURE.md. Units: SI throughout
+// (volts, ohms, meters, joules; see util/units.h).
 #pragma once
 
 #include "device/mtj_params.h"

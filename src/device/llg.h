@@ -16,6 +16,9 @@
 // spin-torque field [A/m], and p the fixed-layer polarization (+z).
 // Positive current destabilizes +z (P -> AP direction by convention;
 // the magnitude symmetry is what the array model consumes).
+//
+// Layer: §3 device — see docs/ARCHITECTURE.md. Units: SI throughout
+// (seconds, amperes, tesla; see util/units.h).
 #pragma once
 
 #include <array>

@@ -12,6 +12,9 @@
 // paper: for AND, two word lines are activated and the summed bit-line
 // current is compared against a reference placed between the (P,P) and
 // (P,AP) levels — equivalently R_ref-AND in (R_P-P, R_P-AP).
+//
+// Layer: §3 device — see docs/ARCHITECTURE.md. Units: SI throughout
+// (ohms, amperes, volts, seconds, joules; see util/units.h).
 #pragma once
 
 #include "device/brinkman.h"

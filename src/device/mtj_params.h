@@ -4,6 +4,8 @@
 // defaults taken from the literature the paper builds on ([8][15]).
 //
 // All values SI.
+//
+// Layer: §3 device — see docs/ARCHITECTURE.md.
 #pragma once
 
 #include <cstdint>

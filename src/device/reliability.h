@@ -17,6 +17,10 @@
 // AndBitErrorRate combines them into the per-bit error probability of
 // one in-memory AND — the quantity an architecture-level ECC/refresh
 // policy would be provisioned against.
+//
+// Layer: §3 device — see docs/ARCHITECTURE.md. Units: SI; failure
+// probabilities in [0, 1]; thermal stability Δ is dimensionless
+// (barrier height in units of kT).
 #pragma once
 
 #include "device/mtj_device.h"

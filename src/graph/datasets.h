@@ -8,6 +8,10 @@
 // real SNAP edge list is present under $TCIM_DATA_DIR (e.g.
 // "$TCIM_DATA_DIR/roadNet-PA.txt"), it is loaded instead and the
 // instance is flagged `is_real`.
+//
+// Layer: §2 graph — see docs/ARCHITECTURE.md. Units: PaperRef runtimes
+// in seconds, sizes in MB (as printed in the paper's tables); the
+// Fig. 6 energy ratio is dimensionless (normalized to TCIM).
 #pragma once
 
 #include <array>

@@ -9,6 +9,8 @@
 // rationale).
 //
 // All generators are deterministic functions of their explicit seed.
+//
+// Layer: §2 graph — see docs/ARCHITECTURE.md.
 #pragma once
 
 #include <cstdint>

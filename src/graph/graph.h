@@ -6,6 +6,9 @@
 //  * adjacency of each vertex sorted strictly increasing;
 //  * symmetric: (u,v) present iff (v,u) present;
 //  * vertex ids are dense in [0, num_vertices).
+//
+// Layer: §2 graph — see docs/ARCHITECTURE.md. Conventions: vertex ids
+// are dense u32; num_edges() counts each undirected edge once.
 #pragma once
 
 #include <cstdint>

@@ -6,6 +6,8 @@
 // loader accepts exactly that shape, so real SNAP downloads can be
 // dropped into TCIM_DATA_DIR to replace the synthetic stand-ins (see
 // datasets.h).
+//
+// Layer: §2 graph — see docs/ARCHITECTURE.md.
 #pragma once
 
 #include <cstdint>

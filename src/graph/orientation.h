@@ -7,6 +7,8 @@
 // the intermediate. This module produces the oriented CSR consumed by
 // the slicing layer, in three flavours that the orientation ablation
 // compares.
+//
+// Layer: §2 graph — see docs/ARCHITECTURE.md.
 #pragma once
 
 #include <cstdint>

@@ -2,6 +2,9 @@
 // clustering/transitivity — the metrics the paper's intro motivates TC
 // with ("the first fundamental step in calculating metrics such as
 // clustering coefficient and transitivity ratio").
+//
+// Layer: §2 graph — see docs/ARCHITECTURE.md. Units: counts are
+// dimensionless; clustering/transitivity coefficients lie in [0, 1].
 #pragma once
 
 #include <cstdint>

@@ -11,6 +11,10 @@
 // The model produces per-op latency/energy (OpCost) and chip-level
 // area/leakage — the numbers the behavioural simulator (core/perf_model)
 // multiplies with the architectural op counts.
+//
+// Layer: §4 nvsim — see docs/ARCHITECTURE.md. Units: OpCost
+// latencies in seconds and energies in joules; chip leakage in
+// watts; chip area in mm².
 #pragma once
 
 #include <cstdint>

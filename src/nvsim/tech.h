@@ -5,6 +5,9 @@
 // the role of NVSim's technology file. Values are calibrated to the
 // FreePDK45 / NVSim 45nm defaults (wire RC, FO4, sense-amp class
 // numbers) — the tests pin sanity ranges rather than exact values.
+//
+// Layer: §4 nvsim — see docs/ARCHITECTURE.md. Units: SI (seconds,
+// joules, Ohm/m, F/m); per-field comments state each quantity.
 #pragma once
 
 #include <cstdint>

@@ -9,6 +9,9 @@
 // sits behind the sense amplifiers (Fig. 4) and is pipelined: its
 // throughput matches one slice per AND issue, so in the parallel
 // latency model it only adds a drain term.
+//
+// Layer: §6 pim — see docs/ARCHITECTURE.md. Units: latency_per_word
+// in seconds, energy_per_word in joules (SI).
 #pragma once
 
 #include <cstdint>

@@ -19,6 +19,10 @@
 // The simulator is functional (bit-exact contents) + accounting (op
 // counters used by core::PerfModel to derive time/energy from the
 // NVSim per-op costs).
+//
+// Layer: §6 pim — see docs/ARCHITECTURE.md. This simulator is
+// functional only: it carries no time or energy. Its op counts are
+// priced with nvsim::ArrayPerf per-op costs by core::PerfModel.
 #pragma once
 
 #include <cstdint>

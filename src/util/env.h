@@ -5,6 +5,8 @@
 //                 below keep the default `ctest`/bench run to minutes;
 //                 TCIM_SCALE=1 reproduces full Table II sizes.
 //   TCIM_SEED   — base RNG seed for workload synthesis (default 42).
+//
+// Layer: §1 util — see docs/ARCHITECTURE.md.
 #pragma once
 
 #include <cstdint>

@@ -7,6 +7,8 @@
 //
 // Xoshiro256** is the workhorse (fast, 256-bit state, passes BigCrush);
 // SplitMix64 seeds it and serves as a cheap stateless mixer.
+//
+// Layer: §1 util — see docs/ARCHITECTURE.md.
 #pragma once
 
 #include <array>

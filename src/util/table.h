@@ -1,6 +1,8 @@
 // Plain-text table rendering for the bench harnesses that regenerate
 // the paper's tables. Produces aligned, Markdown-compatible output so
 // bench logs can be pasted directly into EXPERIMENTS.md.
+//
+// Layer: §1 util — see docs/ARCHITECTURE.md.
 #pragma once
 
 #include <cstdint>

@@ -1,5 +1,7 @@
 // Wall-clock timing helpers for benchmarks and the "w/o PIM" software
 // measurements in Table V.
+//
+// Layer: §1 util — see docs/ARCHITECTURE.md. Units: seconds (SI).
 #pragma once
 
 #include <chrono>

@@ -2,6 +2,9 @@
 // layers. All internal computation is SI (seconds, joules, meters,
 // ohms, amperes); these helpers exist only at formatting boundaries
 // and for readable literals in parameter tables.
+//
+// Layer: §1 util — defines the repo-wide SI units convention that
+// every physical-quantity header references (docs/ARCHITECTURE.md §1).
 #pragma once
 
 #include <cstdint>

@@ -5,6 +5,12 @@
 //   tcim_cli --dataset roadNet-PA --scale 0.1
 //   tcim_cli --dataset com-dblp --slice-bits 128 --policy fifo
 //            --capacity-mb 4 --orientation degree --json
+//   tcim_cli --dataset com-dblp --banks 4 --partition degree
+//
+// With --banks > 1 the run goes through the multi-bank runtime
+// (runtime::BankPool): the graph is sharded across N parallel
+// accelerators and the report gains the partition table plus the
+// cluster-level latency views (critical path vs serial sum).
 //
 // Prints a human-readable report by default, or a single JSON object
 // with --json (for scripting sweeps).
@@ -16,6 +22,8 @@
 #include "core/accelerator.h"
 #include "graph/datasets.h"
 #include "graph/io.h"
+#include "runtime/bank_pool.h"
+#include "runtime/partitioner.h"
 #include "util/table.h"
 #include "util/timer.h"
 #include "util/units.h"
@@ -33,6 +41,9 @@ struct Options {
   double capacity_mb = 16.0;
   std::string orientation = "upper";
   std::uint64_t seed = 42;
+  std::uint32_t banks = 1;
+  std::uint32_t threads = 0;
+  std::string partition = "degree";
   bool json = false;
   bool verify = true;
 };
@@ -51,6 +62,13 @@ void Usage() {
       "  --capacity-mb X     computational array size (default 16)\n"
       "  --orientation O     upper | degree | full (default upper)\n"
       "  --seed N            synthesis seed (default 42)\n"
+      "  --banks N           parallel TCIM banks; >1 uses the multi-bank "
+      "runtime (default 1)\n"
+      "  --threads N         worker threads driving the banks (default: one "
+      "per bank,\n"
+      "                      capped at the hardware concurrency)\n"
+      "  --partition P       contiguous | degree (degree-balanced ranges, "
+      "default)\n"
       "  --json              machine-readable output\n"
       "  --no-verify         skip the CPU cross-check\n";
 }
@@ -97,6 +115,18 @@ bool Parse(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (!v) return false;
       opt.seed = std::stoull(v);
+    } else if (arg == "--banks") {
+      const char* v = next();
+      if (!v) return false;
+      opt.banks = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      opt.threads = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (arg == "--partition") {
+      const char* v = next();
+      if (!v) return false;
+      opt.partition = v;
     } else if (arg == "--json") {
       opt.json = true;
     } else if (arg == "--no-verify") {
@@ -112,6 +142,54 @@ bool Parse(int argc, char** argv, Options& opt) {
   return true;
 }
 
+/// Report fields shared by the single-accelerator and multi-bank
+/// paths; the path-specific middle is injected as a callback so new
+/// common fields land in both outputs.
+struct ReportCommon {
+  const tcim::graph::Graph* g = nullptr;
+  std::string source;
+  std::uint64_t triangles = 0;
+  double chip_energy_j = 0.0;
+  double platform_energy_j = 0.0;
+  double host_seconds = 0.0;
+  bool verify_requested = true;
+  bool verified = true;
+};
+
+template <typename JsonMiddle, typename TableMiddle>
+int EmitReport(bool json, const ReportCommon& c, JsonMiddle&& json_middle,
+               TableMiddle&& table_middle) {
+  if (json) {
+    std::cout << "{\"source\":\"" << c.source
+              << "\",\"vertices\":" << c.g->num_vertices()
+              << ",\"edges\":" << c.g->num_edges()
+              << ",\"triangles\":" << c.triangles;
+    json_middle(std::cout);
+    std::cout << ",\"chip_energy_j\":" << c.chip_energy_j
+              << ",\"platform_energy_j\":" << c.platform_energy_j
+              << ",\"host_seconds\":" << c.host_seconds
+              << ",\"verified\":" << (c.verified ? "true" : "false")
+              << "}\n";
+  } else {
+    using tcim::util::TablePrinter;
+    TablePrinter t({"Quantity", "Value"});
+    t.AddRow({"source", c.source});
+    t.AddRow({"vertices", TablePrinter::WithThousands(c.g->num_vertices())});
+    t.AddRow({"edges", TablePrinter::WithThousands(c.g->num_edges())});
+    t.AddRow({"triangles", TablePrinter::WithThousands(c.triangles)});
+    table_middle(t);
+    t.AddRow({"chip energy", tcim::util::FormatJoules(c.chip_energy_j)});
+    t.AddRow({"platform energy",
+              tcim::util::FormatJoules(c.platform_energy_j)});
+    t.AddRow({"host wall-clock", tcim::util::FormatSeconds(c.host_seconds)});
+    t.AddRow({"verified vs CPU", c.verify_requested
+                                     ? (c.verified ? "yes" : "MISMATCH")
+                                     : "skipped"});
+    t.Print(std::cout);
+  }
+  return c.verified ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -123,17 +201,22 @@ int main(int argc, char** argv) {
 
   graph::Graph g;
   std::string source;
-  if (!opt.input.empty()) {
-    g = graph::ReadSnapEdgeListFile(opt.input);
-    source = opt.input;
-  } else if (!opt.dataset.empty()) {
-    const graph::PaperRef& ref = graph::GetPaperRefByName(opt.dataset);
-    graph::DatasetInstance inst =
-        graph::SynthesizePaperGraph(ref.id, opt.scale, opt.seed);
-    g = std::move(inst.graph);
-    source = inst.source;
-  } else {
-    Usage();
+  try {
+    if (!opt.input.empty()) {
+      g = graph::ReadSnapEdgeListFile(opt.input);
+      source = opt.input;
+    } else if (!opt.dataset.empty()) {
+      const graph::PaperRef& ref = graph::GetPaperRefByName(opt.dataset);
+      graph::DatasetInstance inst =
+          graph::SynthesizePaperGraph(ref.id, opt.scale, opt.seed);
+      g = std::move(inst.graph);
+      source = inst.source;
+    } else {
+      Usage();
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
     return 2;
   }
 
@@ -162,52 +245,109 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Validated even when --banks is 1, so a typo'd strategy errors on
+  // every row of a bank sweep, not only the multi-bank ones.
+  runtime::PartitionStrategy partition_strategy;
+  try {
+    partition_strategy = runtime::ParsePartitionStrategy(opt.partition);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  if (opt.banks > 1) {
+    runtime::BankPoolConfig pool_config;
+    pool_config.num_banks = opt.banks;
+    pool_config.num_threads = opt.threads;
+    pool_config.partition = partition_strategy;
+    // Controller rng seed stays at its default on both paths, so under
+    // --policy random bank 0 reproduces the single-accelerator numbers
+    // (DeriveBankSeed keeps the base seed for bank 0).
+    pool_config.accelerator = config;
+    runtime::ClusterResult r;
+    try {
+      const runtime::BankPool pool{pool_config};
+      r = pool.Count(g);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+
+    ReportCommon common{&g,
+                        source,
+                        r.triangles,
+                        r.energy_joules,
+                        r.platform_joules,
+                        r.host_seconds,
+                        opt.verify,
+                        !opt.verify ||
+                            baseline::CountTrianglesReference(g) ==
+                                r.triangles};
+    if (!opt.json) {
+      runtime::PrintPartitionTable(std::cout, r.partition);
+      std::cout << "\n";
+    }
+    return EmitReport(
+        opt.json, common,
+        [&](std::ostream& os) {
+          os << ",\"banks\":" << r.num_banks() << ",\"partition\":\""
+             << runtime::ToString(r.partition.stats.strategy) << "\""
+             << ",\"edge_cut\":" << r.partition.stats.EdgeCutFraction()
+             << ",\"load_imbalance\":" << r.partition.stats.LoadImbalance()
+             << ",\"and_ops\":" << r.exec.valid_pairs
+             << ",\"hit_rate\":" << r.exec.cache.HitRate()
+             << ",\"critical_path_seconds\":" << r.critical_path_seconds
+             << ",\"serial_sum_seconds\":" << r.serial_sum_seconds
+             << ",\"bank_speedup\":" << r.Speedup();
+        },
+        [&](util::TablePrinter& t) {
+          using util::TablePrinter;
+          t.AddRow({"banks", std::to_string(r.num_banks())});
+          t.AddRow(
+              {"AND ops", TablePrinter::WithThousands(r.exec.valid_pairs)});
+          t.AddRow(
+              {"hit rate", TablePrinter::Percent(r.exec.cache.HitRate(), 1)});
+          t.AddRow({"cluster latency (critical path)",
+                    util::FormatSeconds(r.critical_path_seconds)});
+          t.AddRow({"cluster latency (serial sum)",
+                    util::FormatSeconds(r.serial_sum_seconds)});
+          t.AddRow({"bank speedup", TablePrinter::Ratio(r.Speedup(), 2)});
+        });
+  }
+
   const core::TcimAccelerator accel{config};
   const core::TcimResult r = accel.Run(g);
 
-  bool verified = true;
-  if (opt.verify) {
-    verified = baseline::CountTrianglesReference(g) == r.triangles;
-  }
-
-  if (opt.json) {
-    std::cout << "{\"source\":\"" << source << "\",\"vertices\":"
-              << g.num_vertices() << ",\"edges\":" << g.num_edges()
-              << ",\"triangles\":" << r.triangles
-              << ",\"and_ops\":" << r.exec.valid_pairs
-              << ",\"row_writes\":" << r.exec.row_slice_writes
-              << ",\"col_writes\":" << r.exec.col_slice_writes
-              << ",\"hit_rate\":" << r.exec.cache.HitRate()
-              << ",\"exchange_rate\":" << r.exec.cache.ExchangeRate()
-              << ",\"serial_seconds\":" << r.perf.serial_seconds
-              << ",\"parallel_seconds\":" << r.perf.parallel_seconds
-              << ",\"chip_energy_j\":" << r.perf.energy_joules
-              << ",\"platform_energy_j\":" << r.perf.platform_joules
-              << ",\"host_seconds\":" << r.host_seconds
-              << ",\"verified\":" << (verified ? "true" : "false")
-              << "}\n";
-  } else {
-    using util::TablePrinter;
-    TablePrinter t({"Quantity", "Value"});
-    t.AddRow({"source", source});
-    t.AddRow({"vertices", TablePrinter::WithThousands(g.num_vertices())});
-    t.AddRow({"edges", TablePrinter::WithThousands(g.num_edges())});
-    t.AddRow({"triangles", TablePrinter::WithThousands(r.triangles)});
-    t.AddRow({"AND ops", TablePrinter::WithThousands(r.exec.valid_pairs)});
-    t.AddRow({"hit rate", TablePrinter::Percent(r.exec.cache.HitRate(), 1)});
-    t.AddRow({"exchanges",
-              TablePrinter::WithThousands(r.exec.cache.exchanges)});
-    t.AddRow({"TCIM latency (serial)",
-              util::FormatSeconds(r.perf.serial_seconds)});
-    t.AddRow({"TCIM latency (parallel)",
-              util::FormatSeconds(r.perf.parallel_seconds)});
-    t.AddRow({"chip energy", util::FormatJoules(r.perf.energy_joules)});
-    t.AddRow({"platform energy",
-              util::FormatJoules(r.perf.platform_joules)});
-    t.AddRow({"host wall-clock", util::FormatSeconds(r.host_seconds)});
-    t.AddRow({"verified vs CPU", opt.verify ? (verified ? "yes" : "MISMATCH")
-                                            : "skipped"});
-    t.Print(std::cout);
-  }
-  return verified ? 0 : 1;
+  ReportCommon common{&g,
+                      source,
+                      r.triangles,
+                      r.perf.energy_joules,
+                      r.perf.platform_joules,
+                      r.host_seconds,
+                      opt.verify,
+                      !opt.verify || baseline::CountTrianglesReference(g) ==
+                                         r.triangles};
+  return EmitReport(
+      opt.json, common,
+      [&](std::ostream& os) {
+        os << ",\"and_ops\":" << r.exec.valid_pairs
+           << ",\"row_writes\":" << r.exec.row_slice_writes
+           << ",\"col_writes\":" << r.exec.col_slice_writes
+           << ",\"hit_rate\":" << r.exec.cache.HitRate()
+           << ",\"exchange_rate\":" << r.exec.cache.ExchangeRate()
+           << ",\"serial_seconds\":" << r.perf.serial_seconds
+           << ",\"parallel_seconds\":" << r.perf.parallel_seconds;
+      },
+      [&](util::TablePrinter& t) {
+        using util::TablePrinter;
+        t.AddRow({"AND ops", TablePrinter::WithThousands(r.exec.valid_pairs)});
+        t.AddRow(
+            {"hit rate", TablePrinter::Percent(r.exec.cache.HitRate(), 1)});
+        t.AddRow(
+            {"exchanges", TablePrinter::WithThousands(r.exec.cache.exchanges)});
+        t.AddRow({"TCIM latency (serial)",
+                  util::FormatSeconds(r.perf.serial_seconds)});
+        t.AddRow({"TCIM latency (parallel)",
+                  util::FormatSeconds(r.perf.parallel_seconds)});
+      });
 }

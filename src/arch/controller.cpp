@@ -30,9 +30,18 @@ Controller::Controller(pim::ComputationalArray& array,
 
 ExecStats Controller::Run(const bit::SlicedMatrix& matrix,
                           EdgeCountSink* sink) {
+  return RunRows(matrix, 0, matrix.num_vertices(), sink);
+}
+
+ExecStats Controller::RunRows(const bit::SlicedMatrix& matrix,
+                              std::uint32_t row_begin, std::uint32_t row_end,
+                              EdgeCountSink* sink) {
   if (matrix.slice_bits() != array_.config().access_width_bits) {
     throw std::invalid_argument(
-        "Controller::Run: matrix slice width != array access width");
+        "Controller: matrix slice width != array access width");
+  }
+  if (row_begin > row_end || row_end > matrix.num_vertices()) {
+    throw std::out_of_range("Controller::RunRows: invalid row range");
   }
   const bit::SlicedStore& rows = matrix.rows();
   const bit::SlicedStore& cols = matrix.cols();
@@ -61,8 +70,7 @@ ExecStats Controller::Run(const bit::SlicedMatrix& matrix,
   std::vector<std::uint32_t> row_edges;       // j per edge of this row
   std::vector<std::uint64_t> row_edge_count;  // per-edge BitCount
 
-  const std::uint32_t n = matrix.num_vertices();
-  for (std::uint32_t i = 0; i < n; ++i) {
+  for (std::uint32_t i = row_begin; i < row_end; ++i) {
     // Gather this row's work, then process it grouped by slice index so
     // each RiSk is staged exactly once per row (Algorithm 1's
     // "load Slice1 into memory" amortized by the row-reuse rule).

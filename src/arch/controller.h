@@ -106,6 +106,17 @@ class Controller {
   [[nodiscard]] ExecStats Run(const bit::SlicedMatrix& matrix,
                               EdgeCountSink* sink = nullptr);
 
+  /// Runs Algorithm 1 over rows [row_begin, row_end) only — the shard
+  /// unit of the multi-bank runtime (runtime::BankPool). Column lookups
+  /// still see the whole matrix, so the per-edge counts are identical
+  /// to a full run's: partitioning the row space across disjoint ranges
+  /// partitions the accumulated bitcount exactly. Throws
+  /// std::out_of_range on an invalid range.
+  [[nodiscard]] ExecStats RunRows(const bit::SlicedMatrix& matrix,
+                                  std::uint32_t row_begin,
+                                  std::uint32_t row_end,
+                                  EdgeCountSink* sink = nullptr);
+
   [[nodiscard]] const SliceMapper& mapper() const noexcept { return mapper_; }
   [[nodiscard]] const SliceCache& cache() const noexcept { return cache_; }
 

@@ -75,6 +75,21 @@ class TcimAccelerator {
   [[nodiscard]] TcimResult RunOnMatrix(const bit::SlicedMatrix& matrix,
                                        graph::Orientation orientation) const;
 
+  /// Pipeline over rows [row_begin, row_end) of a pre-built matrix —
+  /// one bank's shard in the multi-bank runtime (runtime::BankPool).
+  /// Disjoint row ranges partition the accumulated bitcount exactly,
+  /// so summing shards reproduces the full-run count. Caveats of the
+  /// partial view: `triangles` divides the shard's raw bitcount by the
+  /// orientation multiplier (for kFullSymmetric a shard's bitcount
+  /// need not be divisible by 6 — aggregate raw bitcounts across
+  /// shards first, as runtime::AggregateClusterResult does), and
+  /// `slices` is left empty (the matrix is shared; the caller computes
+  /// its stats once, not per shard).
+  [[nodiscard]] TcimResult RunOnMatrixRows(const bit::SlicedMatrix& matrix,
+                                           graph::Orientation orientation,
+                                           std::uint32_t row_begin,
+                                           std::uint32_t row_end) const;
+
   [[nodiscard]] const TcimConfig& config() const noexcept { return config_; }
   /// The characterized device (Table I downstream values).
   [[nodiscard]] const device::MtjDevice& device() const noexcept {

@@ -1,0 +1,87 @@
+// Stats aggregation across parallel TCIM banks: merges per-shard
+// architectural counts and perf results into one cluster-level view.
+//
+// Mirrors core::PerfModel's serial/parallel split one level up:
+//
+//  * serial_sum_seconds     — Σ of the banks' serial latencies: the
+//    time one bank would take to do all the work back-to-back (the
+//    cluster's "serial" view, and the speedup baseline);
+//  * critical_path_seconds  — max over banks of the per-bank serial
+//    latency: all banks run concurrently, each internally serial (the
+//    cluster's answer-ready latency);
+//  * parallel_critical_path_seconds — max over banks of the per-bank
+//    *parallel* (subarray critical-path) latency: bank-level and
+//    subarray-level overlap combined, the deepest parallelism the
+//    architecture exposes.
+//
+// The triangle count is reassembled from the shards' *raw* Eq. (5)
+// bitcounts — summed before dividing by the orientation multiplier,
+// because a single shard's bitcount need not be divisible by it under
+// kFullSymmetric.
+//
+// Layer: §10 runtime — see docs/ARCHITECTURE.md. Units: seconds /
+// joules (SI); ExecStats fields stay dimensionless counts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "arch/controller.h"
+#include "core/accelerator.h"
+#include "core/perf_model.h"
+#include "runtime/partitioner.h"
+
+namespace tcim::runtime {
+
+/// Element-wise sum of per-bank cache statistics.
+[[nodiscard]] arch::CacheStats MergeCacheStats(
+    std::span<const arch::CacheStats> stats);
+
+/// Sums op counts, cache stats and per-subarray histograms. `spread`
+/// is taken as the max (identical across banks of one cluster run).
+[[nodiscard]] arch::ExecStats MergeExecStats(
+    std::span<const arch::ExecStats> stats);
+
+/// The cluster-level result of one multi-bank run.
+struct ClusterResult {
+  std::uint64_t triangles = 0;
+  graph::Orientation orientation = graph::Orientation::kUpper;
+  arch::ExecStats exec;    ///< merged op counts across banks
+  bit::SliceStats slices;  ///< of the shared matrix (computed once)
+
+  double serial_sum_seconds = 0.0;
+  double critical_path_seconds = 0.0;
+  double parallel_critical_path_seconds = 0.0;
+  double energy_joules = 0.0;    ///< Σ per-bank chip energy
+  double platform_joules = 0.0;  ///< chip energy + host power × critical path
+  /// Wall-clock of the simulation itself; set by BankPool::Count
+  /// (AggregateClusterResult leaves it 0 — shard wall-clocks overlap,
+  /// their sum means nothing).
+  double host_seconds = 0.0;
+
+  GraphPartition partition;
+  std::vector<core::TcimResult> banks;  ///< per-shard results, bank order
+
+  [[nodiscard]] std::uint32_t num_banks() const noexcept {
+    return static_cast<std::uint32_t>(banks.size());
+  }
+  /// Bank-level parallel speedup over the one-bank-serial view.
+  [[nodiscard]] double Speedup() const noexcept {
+    return critical_path_seconds == 0.0
+               ? 1.0
+               : serial_sum_seconds / critical_path_seconds;
+  }
+  [[nodiscard]] std::string Summary() const;
+};
+
+/// Folds the per-bank shard results (bank order, one per shard of
+/// `partition`) into the cluster view. `perf_params` supplies the host
+/// platform power for the cluster-level platform energy.
+[[nodiscard]] ClusterResult AggregateClusterResult(
+    GraphPartition partition, graph::Orientation orientation,
+    std::vector<core::TcimResult> per_bank, bit::SliceStats slices,
+    const core::PerfModelParams& perf_params);
+
+}  // namespace tcim::runtime

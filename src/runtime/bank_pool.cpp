@@ -1,0 +1,176 @@
+#include "runtime/bank_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "core/bitwise_tc.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace tcim::runtime {
+
+std::uint64_t DeriveBankSeed(std::uint64_t base, std::uint32_t bank) noexcept {
+  // Mix the bank id through SplitMix64 so neighbouring banks land far
+  // apart in seed space; bank 0 keeps the base seed, preserving the
+  // single-bank ablation numbers verbatim.
+  if (bank == 0) return base;
+  return util::SplitMix64(base ^ util::SplitMix64(bank));
+}
+
+// --- WorkerPool ------------------------------------------------------------
+
+WorkerPool::WorkerPool(std::uint32_t num_threads) {
+  if (num_threads == 0) {
+    throw std::invalid_argument("WorkerPool: need at least one thread");
+  }
+  threads_.reserve(num_threads);
+  try {
+    for (std::uint32_t t = 0; t < num_threads; ++t) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  } catch (...) {
+    // A failed spawn (EAGAIN) must not leave live workers blocked on
+    // members about to be destroyed, nor joinable threads for
+    // ~vector<thread> to terminate on.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+    throw;
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void WorkerPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ && drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+// --- BankPool --------------------------------------------------------------
+
+namespace {
+
+std::uint32_t ThreadCount(const BankPoolConfig& config) {
+  if (config.num_banks == 0 || config.num_banks > kMaxBanks) {
+    throw std::invalid_argument("BankPool: num_banks must be in [1, " +
+                                std::to_string(kMaxBanks) + "]");
+  }
+  if (config.num_threads > kMaxBanks) {
+    throw std::invalid_argument("BankPool: num_threads must be <= " +
+                                std::to_string(kMaxBanks));
+  }
+  if (config.num_threads != 0) return config.num_threads;
+  // Default: one thread per bank, capped at the hardware concurrency.
+  // Each in-flight shard instantiates a full configured-capacity
+  // functional array + cache bookkeeping, so the cap also bounds peak
+  // simulation memory at O(threads x array capacity).
+  const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  return std::min(config.num_banks, hw);
+}
+
+}  // namespace
+
+BankPool::BankPool(BankPoolConfig config)
+    : config_(std::move(config)), workers_(ThreadCount(config_)) {
+  banks_.reserve(config_.num_banks);
+  for (std::uint32_t b = 0; b < config_.num_banks; ++b) {
+    core::TcimConfig bank_config = config_.accelerator;
+    bank_config.controller.rng_seed =
+        DeriveBankSeed(config_.accelerator.controller.rng_seed, b);
+    banks_.push_back(std::make_unique<core::TcimAccelerator>(bank_config));
+  }
+}
+
+ClusterResult BankPool::Count(const graph::Graph& g) const {
+  util::Timer timer;
+  const graph::Orientation orientation = config_.accelerator.orientation;
+  const std::uint32_t slice_bits = banks_.front()->config().slice_bits;
+
+  // Offline stages (Fig. 4 "data slicing"), shared across banks.
+  const graph::OrientedCsr csr = graph::Orient(g, orientation);
+  const bit::SlicedMatrix matrix = bit::SlicedMatrix::FromCsr(
+      csr.num_vertices, csr.offsets, csr.neighbors, slice_bits);
+  GraphPartition partition =
+      PartitionOrientedCsr(csr, num_banks(), config_.partition);
+
+  // Fan the shards out; one completion latch per Count() call so
+  // concurrent Counts can interleave on the same worker pool.
+  std::vector<core::TcimResult> per_bank(num_banks());
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::uint32_t remaining = num_banks();
+  std::exception_ptr first_error;
+
+  const auto wait_for_shards = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  };
+  std::uint32_t posted = 0;
+  try {
+    for (std::uint32_t b = 0; b < num_banks(); ++b) {
+      const ShardInfo& shard = partition.shards[b];
+      workers_.Post([&, b, shard] {
+        std::exception_ptr error;
+        try {
+          per_bank[b] = banks_[b]->RunOnMatrixRows(
+              matrix, orientation, shard.row_begin, shard.row_end);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        if (error && !first_error) first_error = error;
+        if (--remaining == 0) done_cv.notify_all();
+      });
+      ++posted;
+    }
+  } catch (...) {
+    // Post() failed mid-loop: already-posted tasks reference this
+    // frame's locals, so drain them before unwinding.
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      remaining -= num_banks() - posted;
+    }
+    wait_for_shards();
+    throw;
+  }
+  wait_for_shards();
+  if (first_error) std::rethrow_exception(first_error);
+
+  ClusterResult cluster =
+      AggregateClusterResult(std::move(partition), orientation,
+                             std::move(per_bank), matrix.ComputeStats(),
+                             config_.accelerator.perf);
+  cluster.host_seconds = timer.ElapsedSeconds();
+  return cluster;
+}
+
+}  // namespace tcim::runtime

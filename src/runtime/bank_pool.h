@@ -1,0 +1,114 @@
+// Bank pool: N independent TCIM accelerators (the paper's Fig. 4
+// architecture is explicitly bank-parallel) driven by a worker thread
+// pool, counting one graph cooperatively.
+//
+// One Count(g) call runs the offline stages once — orientation,
+// slicing/compression, partitioning — then fans the shards out: bank b
+// executes Algorithm 1 over its owned row range of the *shared*
+// compressed matrix (core::TcimAccelerator::RunOnMatrixRows), and the
+// per-shard results fold into a runtime::ClusterResult. The total is
+// count-exact by construction (see runtime/partitioner.h); the
+// registered exactness tests assert it against the single-accelerator
+// path on every dataset and generator family.
+//
+// Each bank gets its own TcimConfig with a *derived* rng seed
+// (DeriveBankSeed: SplitMix64 over bank id), so random-replacement
+// ablations stay reproducible without the banks' victim choices being
+// lockstep-identical.
+//
+// Thread-safety: Count() is const and safe to call concurrently; each
+// call creates its own functional array + controller per shard, and
+// the shared SlicedMatrix is immutable during the run.
+//
+// Layer: §10 runtime — see docs/ARCHITECTURE.md. Units: SI seconds /
+// joules via core::PerfResult; counts dimensionless.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/accelerator.h"
+#include "graph/graph.h"
+#include "runtime/aggregate.h"
+#include "runtime/partitioner.h"
+
+namespace tcim::runtime {
+
+/// Derives bank b's rng seed from the cluster base seed (SplitMix64
+/// mixing; distinct per bank, never equal to plain `base` for b > 0).
+[[nodiscard]] std::uint64_t DeriveBankSeed(std::uint64_t base,
+                                           std::uint32_t bank) noexcept;
+
+/// Fixed-size FIFO worker pool. Post() never blocks; the destructor
+/// drains every pending task before joining the threads.
+class WorkerPool {
+ public:
+  explicit WorkerPool(std::uint32_t num_threads);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  void Post(std::function<void()> task);
+  [[nodiscard]] std::uint32_t num_threads() const noexcept {
+    return static_cast<std::uint32_t>(threads_.size());
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Upper bound on banks per pool: far beyond any plausible layout, it
+/// exists to reject configs whose per-bank arrays would exhaust host
+/// memory (each bank prices a full configured-capacity array).
+inline constexpr std::uint32_t kMaxBanks = 4096;
+
+struct BankPoolConfig {
+  std::uint32_t num_banks = 2;  ///< in [1, kMaxBanks]
+  /// Worker threads driving the banks; 0 = one per bank, capped at the
+  /// hardware concurrency (bounds peak memory: each in-flight shard
+  /// holds one full functional array). Explicit values are bounded by
+  /// kMaxBanks.
+  std::uint32_t num_threads = 0;
+  PartitionStrategy partition = PartitionStrategy::kDegreeBalanced;
+  /// Per-bank template; controller.rng_seed is re-derived per bank.
+  core::TcimConfig accelerator;
+};
+
+class BankPool {
+ public:
+  explicit BankPool(BankPoolConfig config);
+
+  /// Full multi-bank pipeline: orient, slice, partition, run every
+  /// shard on the pool, aggregate. Exact: ClusterResult::triangles ==
+  /// TcimAccelerator::Run(g).triangles for every graph.
+  [[nodiscard]] ClusterResult Count(const graph::Graph& g) const;
+
+  [[nodiscard]] std::uint32_t num_banks() const noexcept {
+    return static_cast<std::uint32_t>(banks_.size());
+  }
+  [[nodiscard]] const core::TcimAccelerator& bank(std::uint32_t i) const {
+    return *banks_.at(i);
+  }
+  [[nodiscard]] const BankPoolConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  BankPoolConfig config_;
+  std::vector<std::unique_ptr<core::TcimAccelerator>> banks_;
+  mutable WorkerPool workers_;
+};
+
+}  // namespace tcim::runtime

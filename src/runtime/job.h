@@ -1,0 +1,175 @@
+// Jobs for the async runtime scheduler: shared state between the
+// submitting client (JobHandle) and the dispatcher (JobRecord's Mark*
+// transitions).
+//
+// State machine:
+//
+//   kQueued ──MarkRunning──> kRunning ──MarkDone────> kDone
+//      │                        └──────MarkFailed──> kFailed
+//      └────MarkCancelled──> kCancelled                (terminal)
+//
+// Wait() blocks until a terminal state and returns the JobOutcome; it
+// never throws on failure/cancellation — the outcome carries the state
+// so callers can branch (the scheduler tests rely on that).
+//
+// Layer: §10 runtime — see docs/ARCHITECTURE.md. Units: the outcome's
+// queue/run times are host wall-clock seconds (SI).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "runtime/aggregate.h"
+#include "util/timer.h"
+
+namespace tcim::runtime {
+
+enum class JobState : std::uint8_t {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,
+  kCancelled,
+};
+
+[[nodiscard]] inline std::string ToString(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+struct JobOptions {
+  /// Higher runs first under SchedulingPolicy::kPriority; ignored (pure
+  /// FIFO) under kFifo. Ties break by submission order.
+  int priority = 0;
+  /// Free-form label carried into reports (service_simulation uses it).
+  std::string tag;
+};
+
+/// Terminal result of a job, valid once state is kDone/kFailed/
+/// kCancelled. `result` is meaningful only when state == kDone.
+struct JobOutcome {
+  JobState state = JobState::kCancelled;
+  ClusterResult result;
+  std::string error;          ///< set when kFailed
+  double queue_seconds = 0.0; ///< submit → dispatch (or cancel)
+  double run_seconds = 0.0;   ///< dispatch → completion
+  /// Global dispatch sequence number (0 = dispatched first); the
+  /// ordering probe of the FIFO/priority scheduler tests.
+  std::uint64_t start_order = 0;
+};
+
+/// Shared job state. Created by the scheduler; clients hold it through
+/// JobHandle. All methods are thread-safe.
+class JobRecord {
+ public:
+  JobRecord(std::uint64_t id, JobOptions options)
+      : id_(id), options_(std::move(options)) {}
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] const JobOptions& options() const noexcept {
+    return options_;
+  }
+
+  [[nodiscard]] JobState state() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+  }
+
+  /// Blocks until terminal and returns the outcome (by value: the
+  /// record outlives the scheduler, handles may Wait() after shutdown).
+  [[nodiscard]] JobOutcome Wait() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return IsTerminalLocked(); });
+    return outcome_;
+  }
+
+  // --- dispatcher-side transitions ---------------------------------------
+
+  /// kQueued → kRunning. Returns false (no-op) if already cancelled.
+  [[nodiscard]] bool MarkRunning(std::uint64_t start_order) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ != JobState::kQueued) return false;
+    state_ = JobState::kRunning;
+    outcome_.queue_seconds = clock_.ElapsedSeconds();
+    outcome_.start_order = start_order;
+    clock_.Restart();
+    return true;
+  }
+
+  void MarkDone(ClusterResult result) {
+    Finish(JobState::kDone, std::move(result), {});
+  }
+  void MarkFailed(std::string error) {
+    Finish(JobState::kFailed, {}, std::move(error));
+  }
+
+  /// kQueued → kCancelled. Returns false if the job already left the
+  /// queue (running or terminal).
+  [[nodiscard]] bool MarkCancelled() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ != JobState::kQueued) return false;
+    state_ = JobState::kCancelled;
+    outcome_.state = JobState::kCancelled;
+    outcome_.queue_seconds = clock_.ElapsedSeconds();
+    cv_.notify_all();
+    return true;
+  }
+
+ private:
+  void Finish(JobState state, ClusterResult result, std::string error) {
+    std::lock_guard<std::mutex> lock(mu_);
+    state_ = state;
+    outcome_.state = state;
+    outcome_.result = std::move(result);
+    outcome_.error = std::move(error);
+    outcome_.run_seconds = clock_.ElapsedSeconds();
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool IsTerminalLocked() const {
+    return state_ == JobState::kDone || state_ == JobState::kFailed ||
+           state_ == JobState::kCancelled;
+  }
+
+  const std::uint64_t id_;
+  const JobOptions options_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  JobState state_ = JobState::kQueued;
+  JobOutcome outcome_;
+  util::Timer clock_;  ///< re-armed at each transition
+};
+
+/// Client-side view of a submitted job.
+class JobHandle {
+ public:
+  JobHandle() = default;
+  explicit JobHandle(std::shared_ptr<JobRecord> record)
+      : record_(std::move(record)) {}
+
+  [[nodiscard]] bool valid() const noexcept { return record_ != nullptr; }
+  [[nodiscard]] std::uint64_t id() const { return record_->id(); }
+  [[nodiscard]] JobState state() const { return record_->state(); }
+  /// Blocks until the job reaches a terminal state.
+  [[nodiscard]] JobOutcome Wait() const { return record_->Wait(); }
+
+ private:
+  std::shared_ptr<JobRecord> record_;
+};
+
+}  // namespace tcim::runtime

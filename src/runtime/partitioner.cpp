@@ -1,0 +1,137 @@
+#include "runtime/partitioner.h"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/table.h"
+
+namespace tcim::runtime {
+
+std::string ToString(PartitionStrategy strategy) {
+  switch (strategy) {
+    case PartitionStrategy::kContiguous:
+      return "contiguous";
+    case PartitionStrategy::kDegreeBalanced:
+      return "degree-balanced";
+  }
+  return "?";
+}
+
+PartitionStrategy ParsePartitionStrategy(const std::string& name) {
+  if (name == "contiguous") return PartitionStrategy::kContiguous;
+  if (name == "degree" || name == "degree-balanced") {
+    return PartitionStrategy::kDegreeBalanced;
+  }
+  throw std::invalid_argument("unknown partition strategy: " + name);
+}
+
+namespace {
+
+/// Range boundaries: boundaries[b]..boundaries[b+1] is bank b's rows.
+std::vector<graph::VertexId> Boundaries(const graph::OrientedCsr& csr,
+                                        std::uint32_t num_banks,
+                                        PartitionStrategy strategy) {
+  const std::uint64_t n = csr.num_vertices;
+  std::vector<graph::VertexId> bounds(num_banks + 1);
+  bounds[0] = 0;
+  bounds[num_banks] = static_cast<graph::VertexId>(n);
+  for (std::uint32_t b = 1; b < num_banks; ++b) {
+    if (strategy == PartitionStrategy::kContiguous) {
+      bounds[b] = static_cast<graph::VertexId>(n * b / num_banks);
+    } else {
+      // Degree-balanced: cut where the arc prefix sum crosses the
+      // b-th equal share of the total arc count.
+      const std::uint64_t target = csr.arc_count() * b / num_banks;
+      const auto it = std::lower_bound(csr.offsets.begin(),
+                                       csr.offsets.end(), target);
+      bounds[b] = static_cast<graph::VertexId>(
+          std::distance(csr.offsets.begin(), it));
+    }
+  }
+  // Monotonicity guard: degree-balanced cuts can collide when a single
+  // row holds more than one share of the arcs.
+  for (std::uint32_t b = 1; b <= num_banks; ++b) {
+    bounds[b] = std::max(bounds[b], bounds[b - 1]);
+  }
+  return bounds;
+}
+
+}  // namespace
+
+GraphPartition PartitionOrientedCsr(const graph::OrientedCsr& csr,
+                                    std::uint32_t num_banks,
+                                    PartitionStrategy strategy) {
+  if (num_banks == 0) {
+    throw std::invalid_argument("PartitionOrientedCsr: num_banks must be > 0");
+  }
+  const std::vector<graph::VertexId> bounds =
+      Boundaries(csr, num_banks, strategy);
+
+  GraphPartition partition;
+  partition.shards.resize(num_banks);
+  partition.stats.strategy = strategy;
+  partition.stats.num_banks = num_banks;
+  partition.stats.total_arcs = csr.arc_count();
+
+  // seen_by[j] remembers the last marker that touched column j: bank id
+  // + 1 for per-shard dedup, then one global pass for distinct_cols.
+  std::vector<std::uint32_t> seen_by(csr.num_vertices, 0);
+  for (std::uint32_t b = 0; b < num_banks; ++b) {
+    ShardInfo& shard = partition.shards[b];
+    shard.bank = b;
+    shard.row_begin = bounds[b];
+    shard.row_end = bounds[b + 1];
+    shard.owned_arcs =
+        csr.offsets[shard.row_end] - csr.offsets[shard.row_begin];
+    for (std::uint64_t a = csr.offsets[shard.row_begin];
+         a < csr.offsets[shard.row_end]; ++a) {
+      const graph::VertexId j = csr.neighbors[a];
+      const bool remote = j < shard.row_begin || j >= shard.row_end;
+      if (remote) ++shard.cut_arcs;
+      if (seen_by[j] != b + 1) {
+        seen_by[j] = b + 1;
+        ++shard.needed_cols;
+        if (remote) ++shard.remote_cols;
+      }
+    }
+    partition.stats.total_cut_arcs += shard.cut_arcs;
+    partition.stats.total_needed_cols += shard.needed_cols;
+    partition.stats.max_arcs =
+        std::max(partition.stats.max_arcs, shard.owned_arcs);
+  }
+  // Distinct columns needed by any bank: a column was needed iff some
+  // arc targets it, and each bank marked it above.
+  for (const std::uint32_t marker : seen_by) {
+    if (marker != 0) ++partition.stats.distinct_cols;
+  }
+  return partition;
+}
+
+void PrintPartitionTable(std::ostream& os, const GraphPartition& partition) {
+  using util::TablePrinter;
+  TablePrinter t({"Bank", "Rows", "Arcs", "Share", "Cut %", "Remote cols"});
+  for (const ShardInfo& shard : partition.shards) {
+    const double share =
+        partition.stats.total_arcs == 0
+            ? 0.0
+            : static_cast<double>(shard.owned_arcs) /
+                  static_cast<double>(partition.stats.total_arcs);
+    t.AddRow({std::to_string(shard.bank),
+              TablePrinter::Compact(shard.num_rows()),
+              TablePrinter::Compact(shard.owned_arcs),
+              TablePrinter::Percent(share, 1),
+              TablePrinter::Percent(shard.CutFraction(), 1),
+              TablePrinter::Compact(shard.remote_cols)});
+  }
+  t.Print(os);
+  os << "  strategy " << ToString(partition.stats.strategy) << ", edge cut "
+     << TablePrinter::Percent(partition.stats.EdgeCutFraction(), 1)
+     << ", load imbalance "
+     << TablePrinter::Ratio(partition.stats.LoadImbalance(), 2)
+     << ", column replication "
+     << TablePrinter::Ratio(partition.stats.ColReplicationFactor(), 2)
+     << "\n";
+}
+
+}  // namespace tcim::runtime

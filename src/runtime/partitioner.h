@@ -1,0 +1,128 @@
+// Graph partitioner for the multi-bank runtime: shards an oriented
+// adjacency matrix into per-bank contiguous vertex (row) ranges.
+//
+// Ownership rule: bank b owns the rows in [shard.row_begin,
+// shard.row_end), and processes exactly the non-zeros A[i][j] with i
+// in its range. Under Eq. (5) every triangle is counted at exactly one
+// non-zero (its pivot edge), so disjoint row ranges that cover
+// [0, n) partition the triangle count *by construction* — the shards'
+// accumulated bitcounts sum to the single-accelerator total for every
+// graph and every orientation.
+//
+// Two strategies:
+//  * kContiguous      — equal-width vertex ranges (the naive split);
+//  * kDegreeBalanced  — range boundaries chosen on the oriented
+//    out-degree prefix sum so every bank owns ~the same number of
+//    non-zeros (the per-unit load balance that multi-unit PIM triangle
+//    counting lives or dies by).
+//
+// Besides the ranges the partitioner reports the communication
+// geometry a physical multi-bank layout would pay for: cut arcs (owned
+// non-zeros whose column lives outside the owned range) and the
+// column-replication factor (how many bank-local copies of column
+// slices the cluster holds in total).
+//
+// Layer: §10 runtime — see docs/ARCHITECTURE.md. Units: every count is
+// dimensionless; fractions lie in [0, 1]; LoadImbalance() >= 1.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/orientation.h"
+
+namespace tcim::runtime {
+
+enum class PartitionStrategy : std::uint8_t {
+  kContiguous,
+  kDegreeBalanced,
+};
+
+[[nodiscard]] std::string ToString(PartitionStrategy strategy);
+/// Parses "contiguous" / "degree". Throws std::invalid_argument.
+[[nodiscard]] PartitionStrategy ParsePartitionStrategy(
+    const std::string& name);
+
+/// One bank's share of the row space, plus its communication stats.
+struct ShardInfo {
+  std::uint32_t bank = 0;
+  graph::VertexId row_begin = 0;
+  graph::VertexId row_end = 0;  ///< exclusive
+  std::uint64_t owned_arcs = 0;  ///< non-zeros enumerated by this bank
+  std::uint64_t cut_arcs = 0;    ///< owned arcs targeting a remote column
+  std::uint64_t needed_cols = 0; ///< distinct columns this bank ANDs against
+  std::uint64_t remote_cols = 0; ///< needed columns outside the owned range
+
+  [[nodiscard]] std::uint64_t num_rows() const noexcept {
+    return row_end - row_begin;
+  }
+  /// Fraction of this shard's arcs that cross the partition boundary.
+  [[nodiscard]] double CutFraction() const noexcept {
+    return owned_arcs == 0 ? 0.0
+                           : static_cast<double>(cut_arcs) /
+                                 static_cast<double>(owned_arcs);
+  }
+};
+
+/// Cluster-level summary of one partition (the Table-style report the
+/// CLI prints; see PrintPartitionTable).
+struct PartitionStats {
+  PartitionStrategy strategy = PartitionStrategy::kContiguous;
+  std::uint32_t num_banks = 0;
+  std::uint64_t total_arcs = 0;
+  std::uint64_t total_cut_arcs = 0;
+  std::uint64_t max_arcs = 0;          ///< heaviest shard
+  std::uint64_t total_needed_cols = 0; ///< Σ per-bank needed columns
+  std::uint64_t distinct_cols = 0;     ///< columns needed by >= 1 bank
+
+  [[nodiscard]] double EdgeCutFraction() const noexcept {
+    return total_arcs == 0 ? 0.0
+                           : static_cast<double>(total_cut_arcs) /
+                                 static_cast<double>(total_arcs);
+  }
+  [[nodiscard]] double MeanArcs() const noexcept {
+    return num_banks == 0 ? 0.0
+                          : static_cast<double>(total_arcs) /
+                                static_cast<double>(num_banks);
+  }
+  /// Heaviest shard over the mean shard (1.0 = perfectly balanced).
+  [[nodiscard]] double LoadImbalance() const noexcept {
+    const double mean = MeanArcs();
+    return mean == 0.0 ? 1.0 : static_cast<double>(max_arcs) / mean;
+  }
+  /// Average bank-local copies per needed column (>= 1; 1.0 = no
+  /// column slice is duplicated across banks).
+  [[nodiscard]] double ColReplicationFactor() const noexcept {
+    return distinct_cols == 0
+               ? 1.0
+               : static_cast<double>(total_needed_cols) /
+                     static_cast<double>(distinct_cols);
+  }
+};
+
+/// A complete sharding: per-bank ranges + the aggregate stats.
+struct GraphPartition {
+  std::vector<ShardInfo> shards;
+  PartitionStats stats;
+
+  [[nodiscard]] std::uint32_t num_banks() const noexcept {
+    return static_cast<std::uint32_t>(shards.size());
+  }
+};
+
+/// Shards `csr` into `num_banks` contiguous row ranges covering
+/// [0, csr.num_vertices). Every bank appears in the result (possibly
+/// with an empty range when num_banks > vertices). Throws
+/// std::invalid_argument when num_banks == 0.
+[[nodiscard]] GraphPartition PartitionOrientedCsr(
+    const graph::OrientedCsr& csr, std::uint32_t num_banks,
+    PartitionStrategy strategy);
+
+/// Renders the per-shard table (rows, arcs, cut %, remote columns) and
+/// the summary lines (edge-cut %, load imbalance, replication factor)
+/// via util::TablePrinter — the `tcim_cli --banks` report block.
+void PrintPartitionTable(std::ostream& os, const GraphPartition& partition);
+
+}  // namespace tcim::runtime

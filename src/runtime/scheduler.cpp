@@ -1,0 +1,167 @@
+#include "runtime/scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace tcim::runtime {
+
+Scheduler::Scheduler(SchedulerConfig config)
+    : config_(std::move(config)), pool_(config_.pool) {
+  const std::uint32_t n = std::clamp<std::uint32_t>(
+      config_.dispatch_threads, 1, kMaxBanks);
+  dispatchers_.reserve(n);
+  try {
+    for (std::uint32_t t = 0; t < n; ++t) {
+      dispatchers_.emplace_back([this] { DispatcherLoop(); });
+    }
+  } catch (...) {
+    // Same spawn-failure discipline as WorkerPool: release any
+    // started dispatchers before the members they block on go away.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shut_down_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : dispatchers_) t.join();
+    throw;
+  }
+}
+
+Scheduler::~Scheduler() { Shutdown(ShutdownMode::kDrain); }
+
+JobHandle Scheduler::Submit(graph::Graph graph, JobOptions options) {
+  std::shared_ptr<JobRecord> record;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!accepting_) {
+      throw std::runtime_error("Scheduler::Submit: scheduler is shut down");
+    }
+    const std::uint64_t sequence = next_sequence_++;
+    record = std::make_shared<JobRecord>(sequence, std::move(options));
+    queue_.push_back(QueueEntry{record, std::move(graph), sequence});
+  }
+  cv_.notify_one();
+  return JobHandle{std::move(record)};
+}
+
+void Scheduler::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void Scheduler::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void Scheduler::Shutdown(ShutdownMode mode) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = false;
+    paused_ = false;
+    shut_down_ = true;
+    if (mode == ShutdownMode::kCancelPending) {
+      cancel_pending_ = true;
+      for (QueueEntry& entry : queue_) {
+        if (entry.record->MarkCancelled()) ++completed_;
+      }
+      queue_.clear();
+    }
+  }
+  cv_.notify_all();
+  // Serialize the join phase: std::thread objects are not safe to
+  // joinable()/join() from two threads, and Shutdown is documented
+  // safe to call concurrently/repeatedly.
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  for (std::thread& t : dispatchers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::uint64_t Scheduler::submitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_sequence_;
+}
+std::uint64_t Scheduler::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+std::uint64_t Scheduler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+std::uint64_t Scheduler::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+Scheduler::QueueEntry Scheduler::PopLocked() {
+  auto best = queue_.begin();
+  if (config_.policy == SchedulingPolicy::kPriority) {
+    for (auto it = std::next(best); it != queue_.end(); ++it) {
+      if (it->record->options().priority >
+          best->record->options().priority) {
+        best = it;  // FIFO tiebreak: keep the earliest of equal priority
+      }
+    }
+  }
+  QueueEntry entry = std::move(*best);
+  queue_.erase(best);
+  return entry;
+}
+
+void Scheduler::DispatcherLoop() {
+  for (;;) {
+    QueueEntry entry;
+    std::uint64_t start_order = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] {
+        return shut_down_ || (!paused_ && !queue_.empty());
+      });
+      if (queue_.empty() || cancel_pending_) {
+        if (shut_down_) return;  // drained (or pending was cancelled)
+        continue;
+      }
+      entry = PopLocked();
+      start_order = next_start_order_++;
+      ++running_;
+    }
+    if (!entry.record->MarkRunning(start_order)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+      ++completed_;
+      continue;
+    }
+    // Update the counters before publishing the terminal state, so a
+    // client returning from Wait() observes them already settled.
+    ClusterResult result;
+    std::string error;
+    bool ok = true;
+    try {
+      result = pool_.Count(entry.graph);
+    } catch (const std::exception& e) {
+      ok = false;
+      error = e.what();
+    } catch (...) {
+      ok = false;
+      error = "unknown error";
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+      ++completed_;
+    }
+    if (ok) {
+      entry.record->MarkDone(std::move(result));
+    } else {
+      entry.record->MarkFailed(std::move(error));
+    }
+  }
+}
+
+}  // namespace tcim::runtime

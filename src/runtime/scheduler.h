@@ -1,0 +1,108 @@
+// Async job scheduler: the concurrent front door of the multi-bank
+// runtime. Clients Submit(graph) from any thread and get a JobHandle
+// with future-style Wait(); dispatcher threads pull jobs off the
+// thread-safe queue (FIFO or priority order) and run them on the
+// shared BankPool.
+//
+// Shutdown is graceful in two flavours:
+//  * kDrain         — stop accepting, finish everything queued;
+//  * kCancelPending — stop accepting, cancel still-queued jobs
+//                     (their handles resolve to kCancelled), finish
+//                     only the jobs already running.
+// The destructor drains. Pause()/Resume() gate dispatch without
+// touching the queue — tests use it to stage deterministic orderings,
+// operators to hold traffic during reconfiguration.
+//
+// Layer: §10 runtime — see docs/ARCHITECTURE.md.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "graph/graph.h"
+#include "runtime/bank_pool.h"
+#include "runtime/job.h"
+
+namespace tcim::runtime {
+
+enum class SchedulingPolicy : std::uint8_t {
+  kFifo,      ///< strict submission order
+  kPriority,  ///< JobOptions::priority desc, FIFO within a priority
+};
+
+struct SchedulerConfig {
+  SchedulingPolicy policy = SchedulingPolicy::kFifo;
+  /// Jobs in flight at once. Each dispatched job still fans out over
+  /// all banks; >1 interleaves shard tasks of multiple jobs on the
+  /// pool's workers.
+  std::uint32_t dispatch_threads = 1;
+  BankPoolConfig pool;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerConfig config);
+  ~Scheduler();  // Shutdown(kDrain)
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Enqueues a counting job; thread-safe. Throws std::runtime_error
+  /// after Shutdown().
+  [[nodiscard]] JobHandle Submit(graph::Graph graph, JobOptions options = {});
+
+  /// Holds dispatch (running jobs finish; queued jobs stay queued).
+  void Pause();
+  /// Releases Pause().
+  void Resume();
+
+  enum class ShutdownMode : std::uint8_t { kDrain, kCancelPending };
+  /// Idempotent and safe to call from several threads; returns once
+  /// every dispatcher thread has exited. Implies Resume() — a paused
+  /// scheduler drains, it never deadlocks.
+  void Shutdown(ShutdownMode mode = ShutdownMode::kDrain);
+
+  // --- introspection ------------------------------------------------------
+  [[nodiscard]] std::uint64_t submitted() const;
+  [[nodiscard]] std::uint64_t pending() const;   ///< queued, not dispatched
+  [[nodiscard]] std::uint64_t running() const;
+  [[nodiscard]] std::uint64_t completed() const; ///< done + failed + cancelled
+  [[nodiscard]] const BankPool& pool() const noexcept { return pool_; }
+  [[nodiscard]] const SchedulerConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct QueueEntry {
+    std::shared_ptr<JobRecord> record;
+    graph::Graph graph;
+    std::uint64_t sequence = 0;  ///< submission order, FIFO tiebreak
+  };
+
+  void DispatcherLoop();
+  /// Pops the next entry per policy; queue must be non-empty.
+  QueueEntry PopLocked();
+
+  const SchedulerConfig config_;
+  BankPool pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<QueueEntry> queue_;
+  bool accepting_ = true;
+  bool cancel_pending_ = false;
+  bool paused_ = false;
+  bool shut_down_ = false;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t next_start_order_ = 0;
+  std::uint64_t running_ = 0;
+  std::uint64_t completed_ = 0;
+  std::mutex join_mu_;  ///< serializes the Shutdown join phase
+  std::vector<std::thread> dispatchers_;
+};
+
+}  // namespace tcim::runtime

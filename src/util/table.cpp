@@ -1,6 +1,7 @@
 #include "util/table.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <ostream>
 #include <stdexcept>
@@ -129,6 +130,27 @@ std::string TablePrinter::Percent(double fraction, int precision) {
 std::string TablePrinter::Ratio(double v, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*fx", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Compact(std::uint64_t v, int precision) {
+  if (v < 1000) return std::to_string(v);
+  static constexpr const char* kSuffix[] = {"k", "M", "G", "T", "P", "E"};
+  double scaled = static_cast<double>(v);
+  std::size_t mag = 0;
+  do {
+    scaled /= 1000.0;
+    ++mag;
+  } while (scaled >= 1000.0 && mag < std::size(kSuffix));
+  // printf rounding can push the mantissa back to 1000 (999.96 with
+  // precision 1 prints "1000.0"); bump the magnitude instead.
+  if (scaled >= 1000.0 - 0.5 * std::pow(10.0, -precision) &&
+      mag < std::size(kSuffix)) {
+    scaled /= 1000.0;
+    ++mag;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%s", precision, scaled, kSuffix[mag - 1]);
   return buf;
 }
 

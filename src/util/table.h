@@ -46,6 +46,9 @@ class TablePrinter {
   static std::string WithThousands(std::uint64_t v);
   static std::string Percent(double fraction, int precision = 2);
   static std::string Ratio(double v, int precision = 1);  // "12.3x"
+  /// Compact magnitude for wide count columns: "999", "1.2k", "3.4M",
+  /// "5.6G" (powers of 1000; values < 1000 are printed verbatim).
+  static std::string Compact(std::uint64_t v, int precision = 1);
 
  private:
   struct Row {

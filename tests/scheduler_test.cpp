@@ -1,0 +1,164 @@
+// Scheduler tests: submission/dispatch ordering (FIFO and priority),
+// concurrent submission from many threads, and both graceful-shutdown
+// flavours. Pause()/Resume() stages deterministic queue contents so
+// the ordering assertions are race-free.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/bitwise_tc.h"
+#include "graph/generators.h"
+#include "runtime/scheduler.h"
+
+namespace tcim {
+namespace {
+
+using runtime::JobHandle;
+using runtime::JobOptions;
+using runtime::JobOutcome;
+using runtime::JobState;
+using runtime::Scheduler;
+using runtime::SchedulerConfig;
+using runtime::SchedulingPolicy;
+
+SchedulerConfig SmallScheduler(SchedulingPolicy policy,
+                               std::uint32_t dispatch_threads = 1) {
+  SchedulerConfig config;
+  config.policy = policy;
+  config.dispatch_threads = dispatch_threads;
+  config.pool.num_banks = 2;
+  config.pool.accelerator.array.capacity_bytes = 1ULL << 20;
+  return config;
+}
+
+graph::Graph JobGraph(std::uint64_t seed) {
+  return graph::HolmeKim(120, 700, 0.7, seed);
+}
+
+TEST(SchedulerTest, SingleJobRunsToDoneWithExactCount) {
+  Scheduler scheduler{SmallScheduler(SchedulingPolicy::kFifo)};
+  const graph::Graph g = JobGraph(1);
+  const std::uint64_t expected = core::CountTrianglesDense(g);
+  const JobHandle handle = scheduler.Submit(g);
+  const JobOutcome outcome = handle.Wait();
+  ASSERT_EQ(outcome.state, JobState::kDone);
+  EXPECT_EQ(outcome.result.triangles, expected);
+  EXPECT_GE(outcome.queue_seconds, 0.0);
+  EXPECT_GT(outcome.run_seconds, 0.0);
+}
+
+TEST(SchedulerTest, FifoDispatchFollowsSubmissionOrder) {
+  Scheduler scheduler{SmallScheduler(SchedulingPolicy::kFifo)};
+  scheduler.Pause();
+  std::vector<JobHandle> handles;
+  for (std::uint64_t j = 0; j < 6; ++j) {
+    handles.push_back(scheduler.Submit(JobGraph(j)));
+  }
+  EXPECT_EQ(scheduler.pending(), 6u);
+  scheduler.Resume();
+  for (std::size_t j = 0; j < handles.size(); ++j) {
+    const JobOutcome outcome = handles[j].Wait();
+    ASSERT_EQ(outcome.state, JobState::kDone);
+    EXPECT_EQ(outcome.start_order, j);
+  }
+}
+
+TEST(SchedulerTest, PriorityDispatchRunsHighestFirstFifoWithin) {
+  Scheduler scheduler{SmallScheduler(SchedulingPolicy::kPriority)};
+  scheduler.Pause();
+  // Submission order: prio 0, 5, 1, 5, 0 → dispatch 1,3 (prio 5 in
+  // submission order), then 2 (prio 1), then 0,4 (prio 0 in order).
+  const int priorities[] = {0, 5, 1, 5, 0};
+  std::vector<JobHandle> handles;
+  for (std::size_t j = 0; j < std::size(priorities); ++j) {
+    JobOptions options;
+    options.priority = priorities[j];
+    handles.push_back(scheduler.Submit(JobGraph(j), options));
+  }
+  scheduler.Resume();
+  const std::uint64_t expected_order[] = {3, 0, 2, 1, 4};
+  for (std::size_t j = 0; j < handles.size(); ++j) {
+    const JobOutcome outcome = handles[j].Wait();
+    ASSERT_EQ(outcome.state, JobState::kDone);
+    EXPECT_EQ(outcome.start_order, expected_order[j]) << "job " << j;
+  }
+}
+
+TEST(SchedulerTest, ConcurrentSubmissionFromManyThreads) {
+  Scheduler scheduler{
+      SmallScheduler(SchedulingPolicy::kFifo, /*dispatch_threads=*/3)};
+  constexpr int kSubmitters = 4;
+  constexpr int kJobsEach = 6;
+  std::vector<std::vector<JobHandle>> handles(kSubmitters);
+  std::vector<std::uint64_t> expected(kSubmitters);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    expected[t] = core::CountTrianglesDense(JobGraph(t));
+    submitters.emplace_back([&, t] {
+      for (int j = 0; j < kJobsEach; ++j) {
+        handles[t].push_back(scheduler.Submit(JobGraph(t)));
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  EXPECT_EQ(scheduler.submitted(),
+            static_cast<std::uint64_t>(kSubmitters * kJobsEach));
+  for (int t = 0; t < kSubmitters; ++t) {
+    for (const JobHandle& handle : handles[t]) {
+      const JobOutcome outcome = handle.Wait();
+      ASSERT_EQ(outcome.state, JobState::kDone);
+      EXPECT_EQ(outcome.result.triangles, expected[t]);
+    }
+  }
+  EXPECT_EQ(scheduler.completed(),
+            static_cast<std::uint64_t>(kSubmitters * kJobsEach));
+}
+
+TEST(SchedulerTest, ShutdownCancelPendingCancelsQueuedJobs) {
+  Scheduler scheduler{SmallScheduler(SchedulingPolicy::kFifo)};
+  scheduler.Pause();  // nothing dispatches: every job stays queued
+  std::vector<JobHandle> handles;
+  for (std::uint64_t j = 0; j < 5; ++j) {
+    handles.push_back(scheduler.Submit(JobGraph(j)));
+  }
+  scheduler.Shutdown(Scheduler::ShutdownMode::kCancelPending);
+  for (const JobHandle& handle : handles) {
+    const JobOutcome outcome = handle.Wait();  // returns immediately
+    EXPECT_EQ(outcome.state, JobState::kCancelled);
+    EXPECT_EQ(outcome.run_seconds, 0.0);
+  }
+  EXPECT_EQ(scheduler.pending(), 0u);
+  EXPECT_EQ(scheduler.completed(), 5u);
+  EXPECT_THROW((void)scheduler.Submit(JobGraph(9)), std::runtime_error);
+}
+
+TEST(SchedulerTest, ShutdownDrainFinishesEverythingQueued) {
+  std::vector<JobHandle> handles;
+  {
+    Scheduler scheduler{SmallScheduler(SchedulingPolicy::kFifo)};
+    scheduler.Pause();
+    for (std::uint64_t j = 0; j < 4; ++j) {
+      handles.push_back(scheduler.Submit(JobGraph(j)));
+    }
+    // Shutdown implies Resume(): a paused scheduler must still drain.
+    scheduler.Shutdown(Scheduler::ShutdownMode::kDrain);
+    EXPECT_EQ(scheduler.pending(), 0u);
+    EXPECT_EQ(scheduler.completed(), 4u);
+  }  // destructor: second (idempotent) drain
+  for (const JobHandle& handle : handles) {
+    EXPECT_EQ(handle.Wait().state, JobState::kDone);
+  }
+}
+
+TEST(SchedulerTest, DoubleShutdownIsIdempotent) {
+  Scheduler scheduler{SmallScheduler(SchedulingPolicy::kFifo)};
+  (void)scheduler.Submit(JobGraph(1)).Wait();
+  scheduler.Shutdown();
+  scheduler.Shutdown(Scheduler::ShutdownMode::kCancelPending);
+  EXPECT_EQ(scheduler.completed(), 1u);
+}
+
+}  // namespace
+}  // namespace tcim

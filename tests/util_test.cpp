@@ -175,6 +175,22 @@ TEST(TablePrinter, FormattingHelpers) {
   EXPECT_EQ(TablePrinter::Ratio(23.42, 1), "23.4x");
 }
 
+TEST(TablePrinter, CompactCounts) {
+  EXPECT_EQ(TablePrinter::Compact(0), "0");
+  EXPECT_EQ(TablePrinter::Compact(999), "999");
+  EXPECT_EQ(TablePrinter::Compact(1000), "1.0k");
+  EXPECT_EQ(TablePrinter::Compact(1234), "1.2k");
+  EXPECT_EQ(TablePrinter::Compact(1234567), "1.2M");
+  EXPECT_EQ(TablePrinter::Compact(3400000000ULL), "3.4G");
+  EXPECT_EQ(TablePrinter::Compact(5600000000000ULL, 2), "5.60T");
+  // Rounding at a magnitude boundary bumps the suffix, never "1000.0k".
+  EXPECT_EQ(TablePrinter::Compact(999999), "1.0M");
+  EXPECT_EQ(TablePrinter::Compact(999999999), "1.0G");
+  EXPECT_EQ(TablePrinter::Compact(999499), "999.5k");
+  // u64 max lands in the exa range instead of overflowing the table.
+  EXPECT_EQ(TablePrinter::Compact(18446744073709551615ULL, 1), "18.4E");
+}
+
 TEST(TablePrinter, AlignmentPadsCorrectly) {
   TablePrinter t({"Name", "Val"}, {Align::kLeft, Align::kRight});
   t.AddRow({"ab", "7"});

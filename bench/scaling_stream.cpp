@@ -1,0 +1,190 @@
+// scaling_stream — incremental vs recount latency across update-batch
+// sizes on the Table II dataset stand-ins (extension beyond the paper:
+// its pipeline counts a static snapshot; this sweep measures what the
+// streaming layer saves when the graph is live).
+//
+// For each dataset a stream::IncrementalCounter maintains the count
+// while batches of growing size (fractions of the current edge count,
+// half deletes of existing edges / half inserts of fresh pairs) are
+// applied. Each cell reports the incremental batch latency next to
+// what a snapshot pipeline would pay for the same update — re-slice
+// the whole matrix and rerun the full Eq. (5) pass — and the speedup.
+// Exactness is asserted on every cell: the incremental total must
+// equal the recount of the evolved graph, and the final graph is
+// cross-checked against baseline::cpu_tc.
+//
+// The last column hands a 10%-of-edges batch to a counter running the
+// *default* cost model: past the recount_fraction threshold the
+// incremental path's O(batch^2) overlay would lose to the flat
+// recount cost, so the counter must route the batch to the snapshot
+// pipeline itself (the "path" cell asserts it did).
+//
+// Knobs: TCIM_SCALE / TCIM_SEED / TCIM_DATA_DIR as in every bench.
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "baseline/cpu_tc.h"
+#include "bench_common.h"
+#include "graph/datasets.h"
+#include "stream/dynamic_graph.h"
+#include "stream/incremental_counter.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace tcim;
+
+constexpr double kBatchFractions[] = {0.0001, 0.001, 0.01};
+constexpr double kFallbackFraction = 0.10;
+
+/// Builds a mixed batch: half deletes sampled from the live edges,
+/// half inserts of pairs not currently present.
+stream::EdgeDelta MakeBatch(const stream::DynamicGraph& live,
+                            std::uint64_t target_ops, util::Xoshiro256& rng) {
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> edges;
+  edges.reserve(live.num_edges());
+  const graph::Graph snapshot = live.ToGraph();
+  snapshot.ForEachEdge([&](graph::VertexId u, graph::VertexId v) {
+    edges.emplace_back(u, v);
+  });
+  stream::EdgeDelta delta;
+  const std::uint64_t deletes = std::max<std::uint64_t>(1, target_ops / 2);
+  for (std::uint64_t k = 0; k < deletes && !edges.empty(); ++k) {
+    const std::size_t pick = rng() % edges.size();
+    delta.Erase(edges[pick].first, edges[pick].second);
+    edges[pick] = edges.back();
+    edges.pop_back();
+  }
+  const graph::VertexId n = live.num_vertices();
+  for (std::uint64_t k = deletes; k < target_ops; ++k) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto u = static_cast<graph::VertexId>(rng() % n);
+      const auto v = static_cast<graph::VertexId>(rng() % n);
+      if (u != v && !live.HasEdge(u, v)) {
+        delta.Insert(u, v);
+        break;
+      }
+    }
+  }
+  return delta;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Stream scaling: incremental vs recount latency per update batch",
+      "Mixed insert/delete batches sized as a fraction of the live edge "
+      "count; 'recount' is the snapshot pipeline (full re-slice + full "
+      "Eq. (5) pass) on the same post-batch graph. Every cell asserts the "
+      "incremental total equals the recount.");
+
+  std::vector<std::string> headers = {"Dataset", "Edges"};
+  for (const double f : kBatchFractions) {
+    headers.push_back(util::TablePrinter::Percent(f, 2) + " inc");
+    headers.push_back("rec");
+    headers.push_back("win");
+  }
+  headers.push_back("10% path");
+  headers.push_back("10% lat");
+  util::TablePrinter t(headers);
+
+  int small_batch_wins = 0;
+  int datasets_run = 0;
+  for (const graph::PaperRef& ref : graph::AllPaperRefs()) {
+    const graph::DatasetInstance inst = bench::LoadDataset(ref.id);
+    bench::PrintProvenance(std::cout, inst);
+    ++datasets_run;
+
+    stream::StreamConfig config;
+    config.orientation = graph::Orientation::kDegree;
+    config.recount_fraction = 1e9;  // measure the incremental path itself
+    stream::IncrementalCounter counter(inst.graph, config);
+    util::Xoshiro256 rng(util::BaseSeed() ^ 0x57AE0000 ^
+                         static_cast<std::uint64_t>(ref.id));
+
+    std::vector<std::string> row = {
+        ref.name, util::TablePrinter::Compact(inst.graph.num_edges())};
+    double smallest_fraction_win = 0.0;
+    for (const double fraction : kBatchFractions) {
+      const auto target_ops = std::max<std::uint64_t>(
+          2, static_cast<std::uint64_t>(fraction *
+                                        static_cast<double>(
+                                            counter.graph().num_edges())));
+      const stream::EdgeDelta delta =
+          MakeBatch(counter.graph(), target_ops, rng);
+      const stream::BatchResult r = counter.ApplyBatch(delta);
+
+      // The snapshot pipeline's cost for the same update: re-slice the
+      // evolved graph from scratch and run the full bitwise pass.
+      const graph::Graph snapshot = counter.graph().ToGraph();
+      std::uint64_t recount = 0;
+      const double recount_seconds = util::TimeOnce([&] {
+        const stream::DynamicGraph rebuilt(snapshot, config.orientation,
+                                           config.slice_bits);
+        recount = rebuilt.matrix().AndPopcountAllEdges() /
+                  graph::CountMultiplier(config.orientation);
+      });
+      if (r.triangles != recount) {
+        std::cerr << "COUNT MISMATCH on " << ref.name << " at fraction "
+                  << fraction << ": incremental " << r.triangles
+                  << " vs recount " << recount << "\n";
+        return 1;
+      }
+      const double win = r.stats.host_seconds > 0.0
+                             ? recount_seconds / r.stats.host_seconds
+                             : 1.0;
+      if (fraction == kBatchFractions[0]) smallest_fraction_win = win;
+      row.push_back(util::FormatSeconds(r.stats.host_seconds));
+      row.push_back(util::FormatSeconds(recount_seconds));
+      row.push_back(util::TablePrinter::Ratio(win, 1));
+    }
+    if (smallest_fraction_win >= 5.0) ++small_batch_wins;
+
+    if (baseline::CountTrianglesReference(counter.graph().ToGraph()) !=
+        counter.triangles()) {
+      std::cerr << "CPU CROSS-CHECK MISMATCH on " << ref.name << "\n";
+      return 1;
+    }
+
+    // Cost-model demonstration: a 10%-of-edges batch against a counter
+    // with the default recount threshold must fall back by itself.
+    stream::StreamConfig default_config;
+    default_config.orientation = config.orientation;
+    stream::IncrementalCounter fallback_counter(counter.graph().ToGraph(),
+                                                default_config);
+    const auto fallback_ops = std::max<std::uint64_t>(
+        2, static_cast<std::uint64_t>(
+               kFallbackFraction *
+               static_cast<double>(fallback_counter.graph().num_edges())));
+    const stream::EdgeDelta fallback_delta =
+        MakeBatch(fallback_counter.graph(), fallback_ops, rng);
+    const stream::BatchResult fallback_r =
+        fallback_counter.ApplyBatch(fallback_delta);
+    if (!fallback_r.stats.used_recount) {
+      std::cerr << "COST MODEL FAILED to reroute the 10% batch on "
+                << ref.name << "\n";
+      return 1;
+    }
+    row.push_back("recount");
+    row.push_back(util::FormatSeconds(fallback_r.stats.host_seconds));
+    t.AddRow(row);
+  }
+
+  t.Print(std::cout);
+  std::cout << "\n  " << small_batch_wins << "/" << datasets_run
+            << " datasets show a >= 5x incremental win at the smallest "
+               "batch size (0.01% of edges).\n"
+            << "  The win shrinks as batches grow (the per-op overlay "
+               "corrections are O(batch));\n"
+            << "  at 10% of edges the default cost model routes the batch "
+               "to the snapshot pipeline\n"
+            << "  itself — the '10% path' column asserts that the fallback "
+               "fired.\n";
+  return 0;
+}

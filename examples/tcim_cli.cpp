@@ -6,11 +6,18 @@
 //   tcim_cli --dataset com-dblp --slice-bits 128 --policy fifo
 //            --capacity-mb 4 --orientation degree --json
 //   tcim_cli --dataset com-dblp --banks 4 --partition degree
+//   tcim_cli --dataset ego-facebook --stream updates.delta
 //
 // With --banks > 1 the run goes through the multi-bank runtime
 // (runtime::BankPool): the graph is sharded across N parallel
 // accelerators and the report gains the partition table plus the
 // cluster-level latency views (critical path vs serial sum).
+//
+// With --stream FILE the loaded graph becomes the initial state of a
+// runtime::StreamSession and FILE is replayed as edge-update batches
+// ("+ u v" / "- u v" lines, "=" commits a batch — see
+// src/stream/edge_delta.h); each batch is counted incrementally and
+// the report shows the per-batch deltas and the stream aggregate.
 //
 // Prints a human-readable report by default, or a single JSON object
 // with --json (for scripting sweeps).
@@ -24,6 +31,8 @@
 #include "graph/io.h"
 #include "runtime/bank_pool.h"
 #include "runtime/partitioner.h"
+#include "runtime/stream_session.h"
+#include "stream/edge_delta.h"
 #include "util/table.h"
 #include "util/timer.h"
 #include "util/units.h"
@@ -44,6 +53,8 @@ struct Options {
   std::uint32_t banks = 1;
   std::uint32_t threads = 0;
   std::string partition = "degree";
+  std::string stream;
+  double recount_fraction = 0.01;
   bool json = false;
   bool verify = true;
 };
@@ -69,6 +80,12 @@ void Usage() {
       "                      capped at the hardware concurrency)\n"
       "  --partition P       contiguous | degree (degree-balanced ranges, "
       "default)\n"
+      "  --stream FILE       replay FILE as edge-update batches against the\n"
+      "                      loaded graph (incremental counting; '+ u v', "
+      "'- u v',\n"
+      "                      '=' commits a batch)\n"
+      "  --recount-frac X    fall back to a full recount when a batch exceeds\n"
+      "                      X * edges normalized ops (default 0.01)\n"
       "  --json              machine-readable output\n"
       "  --no-verify         skip the CPU cross-check\n";
 }
@@ -127,6 +144,14 @@ bool Parse(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (!v) return false;
       opt.partition = v;
+    } else if (arg == "--stream") {
+      const char* v = next();
+      if (!v) return false;
+      opt.stream = v;
+    } else if (arg == "--recount-frac") {
+      const char* v = next();
+      if (!v) return false;
+      opt.recount_fraction = std::stod(v);
     } else if (arg == "--json") {
       opt.json = true;
     } else if (arg == "--no-verify") {
@@ -253,6 +278,71 @@ int main(int argc, char** argv) {
   } catch (const std::invalid_argument& e) {
     std::cerr << e.what() << "\n";
     return 2;
+  }
+
+  if (!opt.stream.empty()) {
+    std::vector<stream::EdgeDelta> batches;
+    try {
+      batches = stream::ReadDeltaFile(opt.stream);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+    stream::StreamConfig stream_config;
+    stream_config.orientation = config.orientation;
+    stream_config.slice_bits = opt.slice_bits;
+    stream_config.recount_fraction = opt.recount_fraction;
+    runtime::StreamSession session(g, stream_config);
+    const std::uint64_t initial = session.triangles();
+
+    util::TablePrinter batch_table({"Batch", "Ops", "+E", "-E", "ΔT",
+                                    "Triangles", "Path", "AND ops",
+                                    "Latency"});
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+      const stream::BatchResult r = session.Apply(batches[b]);
+      if (!opt.json) {
+        batch_table.AddRow(
+            {std::to_string(b), std::to_string(r.stats.ops_submitted),
+             std::to_string(r.stats.applied.inserted),
+             std::to_string(r.stats.applied.deleted),
+             std::to_string(r.delta),
+             util::TablePrinter::WithThousands(r.triangles),
+             r.stats.used_recount ? "recount" : "incremental",
+             util::TablePrinter::WithThousands(r.stats.and_ops),
+             util::FormatSeconds(r.stats.host_seconds)});
+      }
+    }
+
+    const runtime::StreamStats stats = session.stats();
+    const std::uint64_t final_triangles = session.triangles();
+    const bool verified =
+        !opt.verify || baseline::CountTrianglesReference(session.Snapshot()) ==
+                           final_triangles;
+    if (opt.json) {
+      std::cout << "{\"source\":\"" << source << "\",\"stream\":\""
+                << opt.stream << "\",\"batches\":" << stats.batches
+                << ",\"initial_triangles\":" << initial
+                << ",\"final_triangles\":" << final_triangles
+                << ",\"net_delta\":" << stats.net_delta
+                << ",\"edges_inserted\":" << stats.edges_inserted
+                << ",\"edges_deleted\":" << stats.edges_deleted
+                << ",\"ops_dropped\":" << stats.ops_dropped
+                << ",\"and_ops\":" << stats.exec.valid_pairs
+                << ",\"recounts\":" << stats.recounts
+                << ",\"host_seconds\":" << stats.host_seconds
+                << ",\"verified\":" << (verified ? "true" : "false") << "}\n";
+    } else {
+      std::cout << "Streaming replay of " << opt.stream << " over " << source
+                << " (" << g.num_vertices() << " V, " << g.num_edges()
+                << " E, " << util::TablePrinter::WithThousands(initial)
+                << " triangles initially)\n\n";
+      batch_table.Print(std::cout);
+      std::cout << "\n  " << stats.Summary() << "\n"
+                << "  verified vs CPU recount: "
+                << (opt.verify ? (verified ? "yes" : "MISMATCH") : "skipped")
+                << "\n";
+    }
+    return verified ? 0 : 1;
   }
 
   if (opt.banks > 1) {

@@ -40,6 +40,25 @@ SlicedMatrix SlicedMatrix::FromCsr(std::uint32_t num_vertices,
   return m;
 }
 
+MatrixPatchStats SlicedMatrix::ApplyArcEdits(std::span<const ArcEdit> edits,
+                                             std::uint32_t new_num_vertices) {
+  std::vector<SliceEdit> row_edits;
+  std::vector<SliceEdit> col_edits;
+  row_edits.reserve(edits.size());
+  col_edits.reserve(edits.size());
+  for (const ArcEdit& edit : edits) {
+    row_edits.push_back(SliceEdit{edit.from, edit.to, edit.set});
+    col_edits.push_back(SliceEdit{edit.to, edit.from, edit.set});
+  }
+  MatrixPatchStats stats;
+  // The row store validates the whole batch before mutating; once it
+  // accepts, the mirrored column batch cannot fail (the stores encode
+  // the same matrix), so the two stores move together or not at all.
+  stats.rows = rows_.ApplyEdits(row_edits, new_num_vertices, new_num_vertices);
+  stats.cols = cols_.ApplyEdits(col_edits, new_num_vertices, new_num_vertices);
+  return stats;
+}
+
 std::uint64_t SlicedMatrix::AndPopcountAllEdges(PopcountKind kind) const {
   std::uint64_t total = 0;
   const std::uint32_t n = num_vertices();

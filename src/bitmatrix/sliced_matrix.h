@@ -76,6 +76,30 @@ struct SliceStats {
   }
 };
 
+/// One arc mutation of the oriented adjacency matrix: set (insert) or
+/// clear (remove) A[from][to]. Mirrored automatically into both the
+/// row store (bit `to` of row `from`) and the column store (bit `from`
+/// of column `to`) by ApplyArcEdits, so the two stores can never
+/// disagree.
+struct ArcEdit {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  bool set = true;
+};
+
+/// Per-store patch accounting of one ApplyArcEdits batch.
+struct MatrixPatchStats {
+  PatchStats rows;
+  PatchStats cols;
+
+  /// Structural slice writes across both stores — the streaming
+  /// analogue of ExecStats' row/col slice writes.
+  [[nodiscard]] std::uint64_t TotalSliceWrites() const noexcept {
+    return rows.slices_inserted + rows.slices_removed + cols.slices_inserted +
+           cols.slices_removed;
+  }
+};
+
 /// Row + column compressed slice stores for one (oriented) adjacency
 /// matrix, with the valid-slice-pair merge kernel.
 class SlicedMatrix {
@@ -135,6 +159,22 @@ class SlicedMatrix {
 
   /// Full statistics pass (Tables III/IV); costs one edge iteration.
   [[nodiscard]] SliceStats ComputeStats() const;
+
+  /// O(log slices) test of one non-zero: is A[i][j] set?
+  [[nodiscard]] bool TestArc(std::uint32_t i, std::uint32_t j) const {
+    return rows_.TestBit(i, j);
+  }
+
+  /// Batched in-place arc mutation — the row-rewrite entry point of
+  /// the streaming layer (stream::DynamicGraph). Each edit is applied
+  /// to the row store and mirrored into the column store in the same
+  /// call; `new_num_vertices` >= num_vertices() grows both stores.
+  /// Duplicate edits or non-flips throw std::invalid_argument (see
+  /// SlicedStore::ApplyEdits); on throw the matrix is unchanged
+  /// (edits are validated against the row store before either store
+  /// is touched).
+  MatrixPatchStats ApplyArcEdits(std::span<const ArcEdit> edits,
+                                 std::uint32_t new_num_vertices);
 
   /// Heap footprint of both stores (diagnostics).
   [[nodiscard]] std::uint64_t HeapBytes() const noexcept {

@@ -1,5 +1,6 @@
 #include "bitmatrix/sliced_store.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace tcim::bit {
@@ -114,6 +115,226 @@ std::uint64_t SlicedStore::GlobalOrdinal(std::uint32_t v,
     throw std::out_of_range("SlicedStore::GlobalOrdinal: ordinal out of range");
   }
   return global;
+}
+
+bool SlicedStore::TestBit(std::uint32_t v, std::uint64_t position) const {
+  if (v >= num_vectors_) {
+    throw std::out_of_range("SlicedStore::TestBit: vector out of range");
+  }
+  if (position >= universe_) return false;
+  const std::uint32_t slice = static_cast<std::uint32_t>(position / slice_bits_);
+  const std::span<const std::uint32_t> indices = SliceIndices(v);
+  const auto it = std::lower_bound(indices.begin(), indices.end(), slice);
+  if (it == indices.end() || *it != slice) return false;
+  const std::uint64_t global =
+      offsets_[v] + static_cast<std::uint64_t>(it - indices.begin());
+  const std::uint64_t in_slice = position % slice_bits_;
+  return (words_[global * words_per_slice_ + in_slice / 64] >>
+          (in_slice % 64)) &
+         1ULL;
+}
+
+PatchStats SlicedStore::ApplyEdits(std::span<const SliceEdit> edits,
+                                   std::uint32_t new_num_vectors,
+                                   std::uint64_t new_universe) {
+  if (new_num_vectors < num_vectors_ || new_universe < universe_) {
+    throw std::invalid_argument("SlicedStore::ApplyEdits: cannot shrink");
+  }
+  PatchStats stats;
+  const bool grows =
+      new_num_vectors != num_vectors_ || new_universe != universe_;
+  if (edits.empty() && !grows) return stats;
+
+  // Order edits by (vector, slice, position) so one walk sees each
+  // affected slice's edits contiguously; duplicates become adjacent.
+  std::vector<SliceEdit> sorted(edits.begin(), edits.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SliceEdit& x, const SliceEdit& y) {
+              return x.vector != y.vector ? x.vector < y.vector
+                                          : x.position < y.position;
+            });
+  for (std::size_t e = 0; e < sorted.size(); ++e) {
+    if (sorted[e].vector >= new_num_vectors ||
+        sorted[e].position >= new_universe) {
+      throw std::invalid_argument("SlicedStore::ApplyEdits: edit out of range");
+    }
+    if (e > 0 && sorted[e].vector == sorted[e - 1].vector &&
+        sorted[e].position == sorted[e - 1].position) {
+      throw std::invalid_argument(
+          "SlicedStore::ApplyEdits: duplicate edit for one (vector, position)");
+    }
+  }
+
+  // Classification pass: does any edit force a structural change?
+  // (slice becoming valid or empty). Also validates flip-ness.
+  bool structural = grows;
+  std::vector<std::uint64_t> scratch(words_per_slice_);
+  std::size_t e = 0;
+  while (e < sorted.size()) {
+    const std::uint32_t v = sorted[e].vector;
+    const std::uint32_t slice =
+        static_cast<std::uint32_t>(sorted[e].position / slice_bits_);
+    // Locate the slice among v's valid slices (v may be a new vector).
+    bool valid = false;
+    std::uint64_t global = 0;
+    if (v < num_vectors_) {
+      const std::span<const std::uint32_t> indices = SliceIndices(v);
+      const auto it = std::lower_bound(indices.begin(), indices.end(), slice);
+      if (it != indices.end() && *it == slice) {
+        valid = true;
+        global = offsets_[v] + static_cast<std::uint64_t>(it - indices.begin());
+      }
+    }
+    if (valid) {
+      std::copy_n(words_.begin() +
+                      static_cast<std::ptrdiff_t>(global * words_per_slice_),
+                  words_per_slice_, scratch.begin());
+    } else {
+      std::fill(scratch.begin(), scratch.end(), 0);
+    }
+    // Apply this slice's edit group to the scratch copy.
+    for (; e < sorted.size() && sorted[e].vector == v &&
+           sorted[e].position / slice_bits_ == slice;
+         ++e) {
+      const std::uint64_t in_slice = sorted[e].position % slice_bits_;
+      const std::uint64_t mask = 1ULL << (in_slice % 64);
+      std::uint64_t& word = scratch[in_slice / 64];
+      if (((word & mask) != 0) == sorted[e].set) {
+        throw std::invalid_argument(
+            "SlicedStore::ApplyEdits: edit is not a flip (store and caller "
+            "bookkeeping diverged)");
+      }
+      word ^= mask;
+    }
+    const bool now_empty =
+        std::all_of(scratch.begin(), scratch.end(),
+                    [](std::uint64_t w) { return w == 0; });
+    if (valid && !now_empty) {
+      // In-place candidate; count the flips now, patch later.
+    } else if (valid && now_empty) {
+      structural = true;
+      ++stats.slices_removed;
+    } else {  // !valid: at least one set edit landed in a fresh slice
+      structural = true;
+      ++stats.slices_inserted;
+    }
+  }
+
+  if (!structural) {
+    // Fast path: every edit flips a bit inside a slice that stays
+    // valid — patch the words directly, no reallocation.
+    for (const SliceEdit& edit : sorted) {
+      const std::uint32_t slice =
+          static_cast<std::uint32_t>(edit.position / slice_bits_);
+      const std::span<const std::uint32_t> indices = SliceIndices(edit.vector);
+      const auto it = std::lower_bound(indices.begin(), indices.end(), slice);
+      const std::uint64_t global =
+          offsets_[edit.vector] +
+          static_cast<std::uint64_t>(it - indices.begin());
+      const std::uint64_t in_slice = edit.position % slice_bits_;
+      words_[global * words_per_slice_ + in_slice / 64] ^=
+          1ULL << (in_slice % 64);
+      ++stats.bits_patched;
+    }
+    return stats;
+  }
+
+  // Structural path: rebuild the flat arrays in one merge pass of the
+  // old slices and the edit groups, per vector.
+  stats.rebuilt = true;
+  stats.slices_inserted = 0;  // recounted below
+  stats.slices_removed = 0;
+  std::vector<std::uint64_t> new_offsets(
+      static_cast<std::size_t>(new_num_vectors) + 1, 0);
+  std::vector<std::uint32_t> new_indices;
+  std::vector<std::uint64_t> new_words;
+  new_indices.reserve(indices_.size() + sorted.size());
+  new_words.reserve(words_.size() + sorted.size() * words_per_slice_);
+
+  e = 0;
+  for (std::uint32_t v = 0; v < new_num_vectors; ++v) {
+    const std::uint64_t old_begin = v < num_vectors_ ? offsets_[v] : 0;
+    const std::uint64_t old_end = v < num_vectors_ ? offsets_[v + 1] : 0;
+    std::uint64_t o = old_begin;
+    // Merge old slices of v with edit groups of v in slice order.
+    while (o < old_end ||
+           (e < sorted.size() && sorted[e].vector == v)) {
+      const std::uint32_t old_slice =
+          o < old_end ? indices_[o] : ~std::uint32_t{0};
+      const std::uint32_t edit_slice =
+          (e < sorted.size() && sorted[e].vector == v)
+              ? static_cast<std::uint32_t>(sorted[e].position / slice_bits_)
+              : ~std::uint32_t{0};
+      const std::uint32_t slice = std::min(old_slice, edit_slice);
+      if (old_slice == slice) {
+        std::copy_n(words_.begin() +
+                        static_cast<std::ptrdiff_t>(o * words_per_slice_),
+                    words_per_slice_, scratch.begin());
+        ++o;
+      } else {
+        std::fill(scratch.begin(), scratch.end(), 0);
+      }
+      std::uint64_t slice_edits = 0;
+      for (; e < sorted.size() && sorted[e].vector == v &&
+             sorted[e].position / slice_bits_ == slice;
+           ++e) {
+        const std::uint64_t in_slice = sorted[e].position % slice_bits_;
+        scratch[in_slice / 64] ^= 1ULL << (in_slice % 64);
+        ++slice_edits;
+      }
+      const bool now_empty =
+          std::all_of(scratch.begin(), scratch.end(),
+                      [](std::uint64_t w) { return w == 0; });
+      if (now_empty) {
+        ++stats.slices_removed;  // old slice emptied (fresh ones can't)
+        continue;
+      }
+      if (old_slice != slice) {
+        ++stats.slices_inserted;
+      } else {
+        stats.bits_patched += slice_edits;
+      }
+      new_indices.push_back(slice);
+      new_words.insert(new_words.end(), scratch.begin(), scratch.end());
+    }
+    new_offsets[v + 1] = new_indices.size();
+  }
+
+  num_vectors_ = new_num_vectors;
+  universe_ = new_universe;
+  slices_per_vector_ =
+      new_universe == 0 ? 0 : (new_universe + slice_bits_ - 1) / slice_bits_;
+  offsets_ = std::move(new_offsets);
+  indices_ = std::move(new_indices);
+  words_ = std::move(new_words);
+  return stats;
+}
+
+std::uint64_t AndPopcountVectors(const SlicedStore& a, std::uint32_t va,
+                                 const SlicedStore& b, std::uint32_t vb,
+                                 PopcountKind kind, std::uint64_t* pairs) {
+  if (a.slice_bits() != b.slice_bits()) {
+    throw std::invalid_argument(
+        "AndPopcountVectors: stores disagree on slice_bits");
+  }
+  const std::span<const std::uint32_t> ia = a.SliceIndices(va);
+  const std::span<const std::uint32_t> ib = b.SliceIndices(vb);
+  std::uint64_t total = 0;
+  std::size_t x = 0;
+  std::size_t y = 0;
+  while (x < ia.size() && y < ib.size()) {
+    if (ia[x] < ib[y]) {
+      ++x;
+    } else if (ia[x] > ib[y]) {
+      ++y;
+    } else {
+      total += AndPopcount(a.SliceWords(va, x), b.SliceWords(vb, y), kind);
+      if (pairs != nullptr) ++*pairs;
+      ++x;
+      ++y;
+    }
+  }
+  return total;
 }
 
 BitVector SlicedStore::ToBitVector(std::uint32_t v) const {

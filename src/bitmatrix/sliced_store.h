@@ -21,13 +21,47 @@
 #include <vector>
 
 #include "bitmatrix/bitvector.h"
+#include "bitmatrix/popcount.h"
 
 namespace tcim::bit {
 
-/// Immutable compressed slice store; see file comment.
+/// One single-bit mutation of a stored vector (streaming updates).
+/// `set == true` sets the bit at `position`, `false` clears it. Edits
+/// must be real flips: setting an already-set bit (or clearing an
+/// already-clear one) is a caller bookkeeping bug and throws.
+struct SliceEdit {
+  std::uint32_t vector = 0;
+  std::uint32_t position = 0;
+  bool set = true;
+};
+
+/// What one ApplyEdits call did to the store — the per-batch write
+/// accounting the streaming layer folds into its ExecStats.
+struct PatchStats {
+  /// Bits flipped inside slices that stayed valid (in-place word edit).
+  std::uint64_t bits_patched = 0;
+  /// Slices that became valid (structural insert into the store).
+  std::uint64_t slices_inserted = 0;
+  /// Slices whose last bit was cleared (structural removal).
+  std::uint64_t slices_removed = 0;
+  /// True when the flat arrays had to be recompacted (any structural
+  /// change or vector growth); false = pure in-place word patching.
+  bool rebuilt = false;
+
+  PatchStats& operator+=(const PatchStats& other) noexcept {
+    bits_patched += other.bits_patched;
+    slices_inserted += other.slices_inserted;
+    slices_removed += other.slices_removed;
+    rebuilt = rebuilt || other.rebuilt;
+    return *this;
+  }
+};
+
+/// Compressed slice store; see file comment.
 /// Invariants: per-vector slice indices are strictly increasing; every
 /// stored slice has at least one set bit; words beyond slice_bits are
-/// zero.
+/// zero. ApplyEdits preserves all three (asserted by the round-trip
+/// tests against a freshly built store).
 class SlicedStore {
  public:
   SlicedStore() = default;
@@ -91,6 +125,25 @@ class SlicedStore {
   [[nodiscard]] std::uint64_t GlobalOrdinal(std::uint32_t v,
                                             std::size_t ordinal) const;
 
+  /// O(log slices) membership test of one bit of vector v.
+  [[nodiscard]] bool TestBit(std::uint32_t v, std::uint64_t position) const;
+
+  /// Applies a batch of single-bit edits, the row-rewrite entry point
+  /// of the streaming layer. `new_num_vectors` / `new_universe` allow
+  /// the store to grow (never shrink) in the same pass — new vectors
+  /// start empty. Edits are processed as one batch: when every edit
+  /// lands inside a slice that stays valid, words are patched in place
+  /// (no allocation); otherwise the flat arrays are recompacted in one
+  /// linear pass (O(store size + edits)).
+  /// Throws std::invalid_argument on: duplicate (vector, position)
+  /// edits, out-of-range vector/position, shrinking dimensions, or an
+  /// edit that is not a real flip (set of a set bit / clear of a clear
+  /// bit) — redundant edits mean the caller's graph bookkeeping has
+  /// diverged from the store, which must not go unnoticed.
+  PatchStats ApplyEdits(std::span<const SliceEdit> edits,
+                        std::uint32_t new_num_vectors,
+                        std::uint64_t new_universe);
+
   /// Reconstructs the dense bit vector for v (validation/round-trip).
   [[nodiscard]] BitVector ToBitVector(std::uint32_t v) const;
 
@@ -127,5 +180,17 @@ class SlicedStore {
   std::vector<std::uint32_t> indices_;  // valid slice index within vector
   std::vector<std::uint64_t> words_;    // words_per_slice_ per valid slice
 };
+
+/// AND-popcount of two stored vectors from any store combination
+/// (row x row, row x col, ...): merges the two sorted valid-slice
+/// index lists and sums BitCount(AND) over the matching slices — the
+/// Eq. (5) kernel generalized beyond the row x col pairing of
+/// SlicedMatrix. The stores must share slice_bits. If `pairs` is
+/// non-null it is incremented by the number of slice ANDs issued (the
+/// streaming layer's AND-op accounting).
+[[nodiscard]] std::uint64_t AndPopcountVectors(
+    const SlicedStore& a, std::uint32_t va, const SlicedStore& b,
+    std::uint32_t vb, PopcountKind kind = PopcountKind::kBuiltin,
+    std::uint64_t* pairs = nullptr);
 
 }  // namespace tcim::bit

@@ -63,6 +63,41 @@ std::string ClusterResult::Summary() const {
   return os.str();
 }
 
+arch::ExecStats ToExecStats(const stream::BatchResult& batch) {
+  arch::ExecStats exec;
+  exec.edges_processed =
+      batch.stats.applied.inserted + batch.stats.applied.deleted;
+  exec.valid_pairs = batch.stats.and_ops;
+  exec.row_slice_writes = batch.stats.applied.patch.rows.bits_patched +
+                          batch.stats.applied.patch.rows.slices_inserted;
+  exec.col_slice_writes = batch.stats.applied.patch.cols.bits_patched +
+                          batch.stats.applied.patch.cols.slices_inserted;
+  return exec;
+}
+
+void StreamStats::Add(const stream::BatchResult& batch) {
+  ++batches;
+  ops_submitted += batch.stats.ops_submitted;
+  ops_dropped += batch.stats.ops_dropped;
+  edges_inserted += batch.stats.applied.inserted;
+  edges_deleted += batch.stats.applied.deleted;
+  flipped_arcs += batch.stats.applied.flipped_arcs;
+  recounts += batch.stats.used_recount ? 1 : 0;
+  net_delta += batch.delta;
+  host_seconds += batch.stats.host_seconds;
+  const arch::ExecStats merged[] = {exec, ToExecStats(batch)};
+  exec = MergeExecStats(merged);
+}
+
+std::string StreamStats::Summary() const {
+  std::ostringstream os;
+  os << batches << " batches: +" << edges_inserted << "/-" << edges_deleted
+     << " edges, net triangle delta " << net_delta << ", "
+     << exec.valid_pairs << " AND ops, " << recounts << " recounts, "
+     << util::FormatSeconds(host_seconds) << " total";
+  return os.str();
+}
+
 ClusterResult AggregateClusterResult(GraphPartition partition,
                                      graph::Orientation orientation,
                                      std::vector<core::TcimResult> per_bank,

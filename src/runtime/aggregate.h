@@ -32,6 +32,7 @@
 #include "core/accelerator.h"
 #include "core/perf_model.h"
 #include "runtime/partitioner.h"
+#include "stream/incremental_counter.h"
 
 namespace tcim::runtime {
 
@@ -83,5 +84,33 @@ struct ClusterResult {
     GraphPartition partition, graph::Orientation orientation,
     std::vector<core::TcimResult> per_bank, bit::SliceStats slices,
     const core::PerfModelParams& perf_params);
+
+/// Translates one stream batch's accounting into the ExecStats
+/// vocabulary so update batches merge with counting runs: AND ops map
+/// to valid_pairs, in-place bit patches + structural slice inserts map
+/// to row/col slice writes, net edge changes to edges_processed. The
+/// array-specific fields (cache, per-subarray histograms,
+/// accumulated_bitcount) stay zero — an update batch never touches the
+/// computational array.
+[[nodiscard]] arch::ExecStats ToExecStats(const stream::BatchResult& batch);
+
+/// Running aggregate over the per-batch results of one edge stream —
+/// the stream-side mirror of ClusterResult (per-batch ExecStats merged
+/// via MergeExecStats; StreamSession keeps one, the CLI prints it).
+struct StreamStats {
+  std::uint64_t batches = 0;
+  std::uint64_t ops_submitted = 0;
+  std::uint64_t ops_dropped = 0;
+  std::uint64_t edges_inserted = 0;
+  std::uint64_t edges_deleted = 0;
+  std::uint64_t flipped_arcs = 0;
+  std::uint64_t recounts = 0;       ///< batches that hit the fallback
+  std::int64_t net_delta = 0;       ///< Σ per-batch triangle deltas
+  double host_seconds = 0.0;        ///< Σ per-batch wall-clock
+  arch::ExecStats exec;             ///< merged per-batch ExecStats
+
+  void Add(const stream::BatchResult& batch);
+  [[nodiscard]] std::string Summary() const;
+};
 
 }  // namespace tcim::runtime

@@ -24,6 +24,7 @@
 #include <utility>
 
 #include "runtime/aggregate.h"
+#include "stream/incremental_counter.h"
 #include "util/timer.h"
 
 namespace tcim::runtime {
@@ -35,6 +36,26 @@ enum class JobState : std::uint8_t {
   kFailed,
   kCancelled,
 };
+
+/// What a job computes. kCount runs the multi-bank pipeline on a whole
+/// graph; kUpdate applies one stream::EdgeDelta batch to a
+/// StreamSession — both kinds share the queue, the dispatch policies
+/// and the JobHandle lifecycle, so edge streams interleave with
+/// whole-graph queries.
+enum class JobKind : std::uint8_t {
+  kCount,
+  kUpdate,
+};
+
+[[nodiscard]] inline std::string ToString(JobKind kind) {
+  switch (kind) {
+    case JobKind::kCount:
+      return "count";
+    case JobKind::kUpdate:
+      return "update";
+  }
+  return "?";
+}
 
 [[nodiscard]] inline std::string ToString(JobState state) {
   switch (state) {
@@ -61,10 +82,13 @@ struct JobOptions {
 };
 
 /// Terminal result of a job, valid once state is kDone/kFailed/
-/// kCancelled. `result` is meaningful only when state == kDone.
+/// kCancelled. On kDone exactly one payload is meaningful: `result`
+/// for kCount jobs, `update` for kUpdate jobs (see `kind`).
 struct JobOutcome {
   JobState state = JobState::kCancelled;
-  ClusterResult result;
+  JobKind kind = JobKind::kCount;
+  ClusterResult result;         ///< kCount payload
+  stream::BatchResult update;   ///< kUpdate payload
   std::string error;          ///< set when kFailed
   double queue_seconds = 0.0; ///< submit → dispatch (or cancel)
   double run_seconds = 0.0;   ///< dispatch → completion
@@ -77,10 +101,14 @@ struct JobOutcome {
 /// JobHandle. All methods are thread-safe.
 class JobRecord {
  public:
-  JobRecord(std::uint64_t id, JobOptions options)
-      : id_(id), options_(std::move(options)) {}
+  JobRecord(std::uint64_t id, JobOptions options,
+            JobKind kind = JobKind::kCount)
+      : id_(id), options_(std::move(options)) {
+    outcome_.kind = kind;
+  }
 
   [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] JobKind kind() const noexcept { return outcome_.kind; }
   [[nodiscard]] const JobOptions& options() const noexcept {
     return options_;
   }
@@ -112,10 +140,14 @@ class JobRecord {
   }
 
   void MarkDone(ClusterResult result) {
-    Finish(JobState::kDone, std::move(result), {});
+    Finish(JobState::kDone, std::move(result), {}, {});
+  }
+  /// kUpdate flavour: the payload is the batch result.
+  void MarkDone(stream::BatchResult result) {
+    Finish(JobState::kDone, {}, std::move(result), {});
   }
   void MarkFailed(std::string error) {
-    Finish(JobState::kFailed, {}, std::move(error));
+    Finish(JobState::kFailed, {}, {}, std::move(error));
   }
 
   /// kQueued → kCancelled. Returns false if the job already left the
@@ -131,11 +163,14 @@ class JobRecord {
   }
 
  private:
-  void Finish(JobState state, ClusterResult result, std::string error) {
+  /// The single terminal transition; exactly one payload is set.
+  void Finish(JobState state, ClusterResult result,
+              stream::BatchResult update, std::string error) {
     std::lock_guard<std::mutex> lock(mu_);
     state_ = state;
     outcome_.state = state;
     outcome_.result = std::move(result);
+    outcome_.update = std::move(update);
     outcome_.error = std::move(error);
     outcome_.run_seconds = clock_.ElapsedSeconds();
     cv_.notify_all();

@@ -38,8 +38,33 @@ JobHandle Scheduler::Submit(graph::Graph graph, JobOptions options) {
       throw std::runtime_error("Scheduler::Submit: scheduler is shut down");
     }
     const std::uint64_t sequence = next_sequence_++;
-    record = std::make_shared<JobRecord>(sequence, std::move(options));
-    queue_.push_back(QueueEntry{record, std::move(graph), sequence});
+    record = std::make_shared<JobRecord>(sequence, std::move(options),
+                                         JobKind::kCount);
+    queue_.push_back(
+        QueueEntry{record, std::move(graph), nullptr, {}, sequence});
+  }
+  cv_.notify_one();
+  return JobHandle{std::move(record)};
+}
+
+JobHandle Scheduler::SubmitUpdate(std::shared_ptr<StreamSession> session,
+                                  stream::EdgeDelta delta,
+                                  JobOptions options) {
+  if (session == nullptr) {
+    throw std::invalid_argument("Scheduler::SubmitUpdate: null session");
+  }
+  std::shared_ptr<JobRecord> record;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!accepting_) {
+      throw std::runtime_error(
+          "Scheduler::SubmitUpdate: scheduler is shut down");
+    }
+    const std::uint64_t sequence = next_sequence_++;
+    record = std::make_shared<JobRecord>(sequence, std::move(options),
+                                         JobKind::kUpdate);
+    queue_.push_back(QueueEntry{record, graph::Graph{}, std::move(session),
+                                std::move(delta), sequence});
   }
   cv_.notify_one();
   return JobHandle{std::move(record)};
@@ -139,11 +164,16 @@ void Scheduler::DispatcherLoop() {
     }
     // Update the counters before publishing the terminal state, so a
     // client returning from Wait() observes them already settled.
-    ClusterResult result;
+    ClusterResult count_result;
+    stream::BatchResult update_result;
     std::string error;
     bool ok = true;
     try {
-      result = pool_.Count(entry.graph);
+      if (entry.record->kind() == JobKind::kUpdate) {
+        update_result = entry.session->Apply(entry.delta);
+      } else {
+        count_result = pool_.Count(entry.graph);
+      }
     } catch (const std::exception& e) {
       ok = false;
       error = e.what();
@@ -156,10 +186,12 @@ void Scheduler::DispatcherLoop() {
       --running_;
       ++completed_;
     }
-    if (ok) {
-      entry.record->MarkDone(std::move(result));
-    } else {
+    if (!ok) {
       entry.record->MarkFailed(std::move(error));
+    } else if (entry.record->kind() == JobKind::kUpdate) {
+      entry.record->MarkDone(std::move(update_result));
+    } else {
+      entry.record->MarkDone(std::move(count_result));
     }
   }
 }

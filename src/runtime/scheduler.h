@@ -27,6 +27,8 @@
 #include "graph/graph.h"
 #include "runtime/bank_pool.h"
 #include "runtime/job.h"
+#include "runtime/stream_session.h"
+#include "stream/edge_delta.h"
 
 namespace tcim::runtime {
 
@@ -55,6 +57,24 @@ class Scheduler {
   /// after Shutdown().
   [[nodiscard]] JobHandle Submit(graph::Graph graph, JobOptions options = {});
 
+  /// Enqueues a streaming-update job: one EdgeDelta batch applied to
+  /// `session` (shared, usually across many update jobs). Update jobs
+  /// ride the same queue and policies as counting jobs, so an edge
+  /// stream interleaves with whole-graph queries; batches for one
+  /// session serialize inside StreamSession::Apply. Ordering contract:
+  /// batches apply in *dispatch* order, which equals submission order
+  /// only under the defaults (kFifo, dispatch_threads == 1). With
+  /// several dispatch threads or priority scheduling, two in-flight
+  /// batches for one session may apply in either order — for
+  /// order-dependent streams either keep the defaults or Wait() on
+  /// each handle before submitting the next batch. The outcome's
+  /// `update` payload carries the batch's delta/new total/stats.
+  /// Thread-safe; throws std::runtime_error after Shutdown() and
+  /// std::invalid_argument on a null session.
+  [[nodiscard]] JobHandle SubmitUpdate(std::shared_ptr<StreamSession> session,
+                                       stream::EdgeDelta delta,
+                                       JobOptions options = {});
+
   /// Holds dispatch (running jobs finish; queued jobs stay queued).
   void Pause();
   /// Releases Pause().
@@ -79,7 +99,9 @@ class Scheduler {
  private:
   struct QueueEntry {
     std::shared_ptr<JobRecord> record;
-    graph::Graph graph;
+    graph::Graph graph;                      ///< kCount payload
+    std::shared_ptr<StreamSession> session;  ///< kUpdate payload
+    stream::EdgeDelta delta;                 ///< kUpdate payload
     std::uint64_t sequence = 0;  ///< submission order, FIFO tiebreak
   };
 

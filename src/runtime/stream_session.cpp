@@ -1,0 +1,31 @@
+#include "runtime/stream_session.h"
+
+namespace tcim::runtime {
+
+StreamSession::StreamSession(const graph::Graph& g,
+                             stream::StreamConfig config)
+    : counter_(g, config) {}
+
+stream::BatchResult StreamSession::Apply(const stream::EdgeDelta& delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stream::BatchResult result = counter_.ApplyBatch(delta);
+  stats_.Add(result);
+  return result;
+}
+
+std::uint64_t StreamSession::triangles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counter_.triangles();
+}
+
+graph::Graph StreamSession::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counter_.graph().ToGraph();
+}
+
+StreamStats StreamSession::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace tcim::runtime

@@ -1,0 +1,56 @@
+// StreamSession: a live graph under streaming updates, shared between
+// the scheduler's update jobs and direct callers.
+//
+// stream::IncrementalCounter is single-threaded by design (the overlay
+// bookkeeping assumes batches apply one at a time); StreamSession adds
+// the concurrency contract the runtime needs: Apply() serializes
+// batches under a mutex, accumulates the per-batch ExecStats into a
+// StreamStats aggregate, and Snapshot() hands out a consistent
+// graph::Graph copy for whole-graph counting jobs — so one session can
+// interleave update batches and full queries through the same
+// Scheduler (see scheduler.h SubmitUpdate).
+//
+// Serialization is not ordering: when several batches for one session
+// are in flight at once (multiple scheduler dispatch threads, priority
+// scheduling, or concurrent direct callers), they apply one at a time
+// but in whatever order the mutex is won. Callers that need a specific
+// order must impose it — the scheduler defaults (FIFO, one dispatcher)
+// do, as does awaiting each batch before submitting the next.
+//
+// Layer: §10 runtime — see docs/ARCHITECTURE.md. Units: SI seconds in
+// StreamStats; counts dimensionless.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "graph/graph.h"
+#include "runtime/aggregate.h"
+#include "stream/edge_delta.h"
+#include "stream/incremental_counter.h"
+
+namespace tcim::runtime {
+
+class StreamSession {
+ public:
+  explicit StreamSession(const graph::Graph& g,
+                         stream::StreamConfig config = {});
+
+  /// Applies one batch (serialized; blocks while another batch or
+  /// snapshot is in flight) and folds its stats into the aggregate.
+  stream::BatchResult Apply(const stream::EdgeDelta& delta);
+
+  [[nodiscard]] std::uint64_t triangles() const;
+  /// Consistent copy of the current graph (for Scheduler::Submit
+  /// counting jobs interleaved with the stream).
+  [[nodiscard]] graph::Graph Snapshot() const;
+  /// Aggregate over every batch applied so far.
+  [[nodiscard]] StreamStats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  stream::IncrementalCounter counter_;
+  StreamStats stats_;
+};
+
+}  // namespace tcim::runtime

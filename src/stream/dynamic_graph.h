@@ -1,0 +1,118 @@
+// Live oriented graph + sliced bit-matrix under streaming edge
+// updates.
+//
+// DynamicGraph owns two synchronized views of an evolving undirected
+// simple graph:
+//  * per-vertex sorted adjacency lists (the mutable ground truth);
+//  * a bit::SlicedMatrix of the *oriented* adjacency, kept patched in
+//    place through bit::SlicedMatrix::ApplyArcEdits so the §5 AND/
+//    popcount kernel always runs against the current graph without a
+//    full re-slice.
+//
+// Orientation is maintained by a total order on vertices:
+//  * kUpper          — key = vertex id; static, updates never flip arcs;
+//  * kDegree         — key = (degree, id); an update changes only the
+//    keys of its endpoints, so re-orientation touches only *affected
+//    vertices*: arcs between an endpoint and the neighbours whose
+//    relative key order flipped are reversed (two arc edits each),
+//    everything else is untouched. Because every vertex is oriented by
+//    its *current* key, the orientation stays a DAG at all times —
+//    the invariant Eq. (5) exactness rests on;
+//  * kFullSymmetric  — both arc directions stored; no flips, Eq. (5)
+//    accumulates 6x the triangle count.
+//
+// Unlike graph::Orient(kDegree), no relabelling is performed: vertex
+// ids are stable across updates (matrix row i is always vertex i).
+//
+// Layer: §11 stream — see docs/ARCHITECTURE.md and docs/STREAMING.md.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitmatrix/sliced_matrix.h"
+#include "graph/graph.h"
+#include "graph/orientation.h"
+#include "stream/edge_delta.h"
+
+namespace tcim::stream {
+
+/// What one Apply call did (stream::BatchStats embeds this).
+struct ApplyStats {
+  std::uint64_t inserted = 0;      ///< edges added (net, after Normalize)
+  std::uint64_t deleted = 0;       ///< edges removed
+  std::uint64_t flipped_arcs = 0;  ///< surviving arcs reversed (kDegree)
+  std::uint32_t grown_vertices = 0;  ///< vertex-universe growth
+  bit::MatrixPatchStats patch;       ///< row/col store patch accounting
+};
+
+class DynamicGraph {
+ public:
+  /// Seeds the live graph from a static snapshot and slices it.
+  DynamicGraph(const graph::Graph& g, graph::Orientation orientation,
+               std::uint32_t slice_bits);
+
+  [[nodiscard]] graph::VertexId num_vertices() const noexcept { return n_; }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept { return m_; }
+  [[nodiscard]] graph::Orientation orientation() const noexcept {
+    return orientation_;
+  }
+  [[nodiscard]] std::uint32_t slice_bits() const noexcept {
+    return slice_bits_;
+  }
+  [[nodiscard]] const bit::SlicedMatrix& matrix() const noexcept {
+    return matrix_;
+  }
+  [[nodiscard]] std::uint64_t Degree(graph::VertexId v) const;
+  [[nodiscard]] bool HasEdge(graph::VertexId u, graph::VertexId v) const;
+
+  /// Replays `delta` against the *evolving* membership and keeps only
+  /// the ops that change it: self-loops, duplicate inserts, deletes of
+  /// absent edges, and deletes of never-seen vertices are dropped.
+  /// Every returned op is a real membership flip at its position in
+  /// the sequence. Does not modify the graph.
+  [[nodiscard]] std::vector<EdgeOp> Normalize(const EdgeDelta& delta) const;
+
+  /// Applies a normalized op sequence (from Normalize; anything else
+  /// throws std::invalid_argument): updates the adjacency, grows the
+  /// vertex universe when endpoints exceed it, re-orients the affected
+  /// vertices (kDegree key changes), and patches both slice stores of
+  /// the matrix in one batched pass. With `patch_matrix == false` the
+  /// arc-edit and flip computation is skipped entirely and the matrix
+  /// is left STALE — the recount fallback uses this (it re-slices from
+  /// scratch right after, so patching first would pay the layout cost
+  /// twice); the caller must RebuildMatrix() before touching it.
+  ApplyStats ApplyNormalized(std::span<const EdgeOp> ops,
+                             bool patch_matrix = true);
+
+  /// Normalize + ApplyNormalized in one call.
+  ApplyStats Apply(const EdgeDelta& delta);
+
+  /// Immutable snapshot for the CPU cross-checks.
+  [[nodiscard]] graph::Graph ToGraph() const;
+
+  /// Re-slices the matrix from scratch from the live adjacency (the
+  /// recount path; also the reference the patch tests diff against).
+  void RebuildMatrix();
+
+ private:
+  /// Total-order key of vertex v under the configured orientation.
+  /// Arcs run low key -> high key.
+  [[nodiscard]] std::pair<std::uint64_t, graph::VertexId> Key(
+      graph::VertexId v) const {
+    return {orientation_ == graph::Orientation::kDegree
+                ? static_cast<std::uint64_t>(adj_[v].size())
+                : 0,
+            v};
+  }
+
+  graph::Orientation orientation_;
+  std::uint32_t slice_bits_;
+  graph::VertexId n_ = 0;
+  std::uint64_t m_ = 0;
+  std::vector<std::vector<graph::VertexId>> adj_;  ///< sorted per vertex
+  bit::SlicedMatrix matrix_;
+};
+
+}  // namespace tcim::stream

@@ -1,0 +1,73 @@
+#include "stream/edge_delta.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tcim::stream {
+
+std::vector<EdgeDelta> ReadDeltaStream(std::istream& in) {
+  std::vector<EdgeDelta> batches;
+  EdgeDelta current;
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Trim leading whitespace; skip blanks and comments.
+    std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;
+    const char head = line[start];
+    if (head == '#' || head == '%') continue;
+    if (head == '=') {
+      batches.push_back(std::move(current));
+      current = EdgeDelta{};
+      continue;
+    }
+    if (head != '+' && head != '-') {
+      throw std::runtime_error("delta line " + std::to_string(line_no) +
+                               ": expected '+', '-', '=' or comment");
+    }
+    std::istringstream fields(line.substr(start + 1));
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    if (!(fields >> u >> v)) {
+      throw std::runtime_error("delta line " + std::to_string(line_no) +
+                               ": expected two vertex ids");
+    }
+    // Reject ids that do not fit VertexId instead of silently
+    // truncating to a different vertex (istream also wraps negative
+    // input into huge unsigned values — caught here too).
+    constexpr std::uint64_t kMaxId =
+        std::numeric_limits<graph::VertexId>::max();
+    if (u > kMaxId || v > kMaxId) {
+      throw std::runtime_error("delta line " + std::to_string(line_no) +
+                               ": vertex id out of 32-bit range");
+    }
+    current.ops.push_back(EdgeOp{static_cast<graph::VertexId>(u),
+                                 static_cast<graph::VertexId>(v),
+                                 head == '+'});
+  }
+  if (!current.empty()) batches.push_back(std::move(current));
+  return batches;
+}
+
+std::vector<EdgeDelta> ReadDeltaFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open delta file: " + path);
+  }
+  return ReadDeltaStream(in);
+}
+
+void WriteDeltaStream(std::span<const EdgeDelta> batches, std::ostream& out) {
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    for (const EdgeOp& op : batches[b].ops) {
+      out << (op.insert ? '+' : '-') << ' ' << op.u << ' ' << op.v << '\n';
+    }
+    if (b + 1 < batches.size()) out << "=\n";
+  }
+}
+
+}  // namespace tcim::stream

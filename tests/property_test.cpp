@@ -3,7 +3,9 @@
 //  (1) all TC implementations agree,
 //  (2) Eq. (5) bookkeeping identities,
 //  (3) slicing statistics conservation,
-//  (4) cache statistics conservation and capacity monotonicity.
+//  (4) cache statistics conservation and capacity monotonicity,
+//  (5) incremental counts over randomized update batches equal a full
+//      CPU recount of the evolved graph.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -14,6 +16,8 @@
 #include "graph/generators.h"
 #include "graph/orientation.h"
 #include "graph/stats.h"
+#include "stream/incremental_counter.h"
+#include "util/rng.h"
 
 namespace tcim {
 namespace {
@@ -138,6 +142,55 @@ TEST_P(FamilySeedTest, CapacityMonotonicity) {
     EXPECT_LE(r.exec.cache.exchanges, prev_exchanges)
         << "capacity=" << capacity;
     prev_exchanges = r.exec.cache.exchanges;
+  }
+}
+
+TEST_P(FamilySeedTest, IncrementalCountMatchesFullRecount) {
+  const Graph g = MakeGraph();
+  const std::uint64_t param_seed = std::get<1>(GetParam());
+  // Three stream sessions, one per maintained orientation, fed the
+  // same randomized batches; every batch's running total must equal a
+  // from-scratch CPU recount of the evolved graph. Batches include
+  // duplicate inserts, deletes of nonexistent edges, self-loops and
+  // vertex growth; small batches exercise the incremental path, the
+  // occasional large one the recount fallback.
+  std::vector<stream::IncrementalCounter> counters;
+  for (const Orientation o :
+       {Orientation::kUpper, Orientation::kDegree,
+        Orientation::kFullSymmetric}) {
+    stream::StreamConfig config;
+    config.orientation = o;
+    counters.emplace_back(g, config);
+  }
+  util::Xoshiro256 rng(0xD1CE + param_seed);
+  const auto n = g.num_vertices();
+  for (int batch = 0; batch < 8; ++batch) {
+    stream::EdgeDelta delta;
+    const bool big = batch == 5;  // one fallback-sized batch per sweep
+    const int ops = big ? static_cast<int>(g.num_edges() / 4) : 10;
+    for (int k = 0; k < ops; ++k) {
+      // +4 lets endpoints land past the current universe (growth);
+      // equal endpoints produce self-loop no-ops.
+      const auto u = static_cast<graph::VertexId>(rng() % (n + 4));
+      const auto v = static_cast<graph::VertexId>(rng() % (n + 4));
+      if (rng() % 3 == 0) {
+        delta.Erase(u, v);  // frequently nonexistent
+      } else {
+        delta.Insert(u, v);  // frequently duplicate
+      }
+      if (rng() % 7 == 0) delta.Insert(u, v);  // literal duplicate op
+    }
+    std::uint64_t expected = ~0ULL;
+    for (stream::IncrementalCounter& counter : counters) {
+      const stream::BatchResult r = counter.ApplyBatch(delta);
+      if (expected == ~0ULL) {
+        expected =
+            baseline::CountTrianglesReference(counter.graph().ToGraph());
+      }
+      ASSERT_EQ(r.triangles, expected)
+          << "batch " << batch << " orientation "
+          << graph::ToString(counter.config().orientation);
+    }
   }
 }
 

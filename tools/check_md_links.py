@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Markdown link-and-anchor checker for the repo's doc set.
+
+Validates every inline link in the checked Markdown files:
+  * relative file links must resolve to an existing file or directory
+    (relative to the linking file);
+  * fragment links (``file.md#anchor`` or ``#anchor``) must match a
+    heading in the target file, using GitHub's heading-slug rules;
+  * absolute http(s)/mailto links are skipped (offline CI).
+
+Links inside fenced code blocks and inline code spans are ignored.
+
+Usage:  check_md_links.py [repo_root]
+Exit status 0 when every link resolves, 1 otherwise (one line per
+broken link). Registered as the ``markdown_links`` ctest and run in
+CI so the doc set cannot rot silently.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Files under the repo root to check: the top-level docs and docs/.
+CHECKED_GLOBS = ["README.md", "CHANGES.md", "ROADMAP.md", "docs/*.md"]
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_RE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+
+
+def github_slug(heading: str, seen: dict) -> str:
+    """GitHub's anchor slug: strip markup, lowercase, keep word chars,
+    hyphens and spaces, spaces to hyphens, -N suffix for repeats."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # unwrap code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = re.sub(r"[*_]", "", text)  # emphasis markers
+    slug = "".join(c for c in text.lower() if c.isalnum() or c in "- _")
+    slug = slug.replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def heading_anchors(path: Path) -> set:
+    anchors = set()
+    seen: dict = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            anchors.add(github_slug(match.group(2), seen))
+    return anchors
+
+
+def iter_links(path: Path):
+    in_fence = False
+    for line_no, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        stripped = CODE_SPAN_RE.sub("", line)
+        for regex in (LINK_RE, IMAGE_RE):
+            for match in regex.finditer(stripped):
+                yield line_no, match.group(1)
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    files = sorted(
+        {f for pattern in CHECKED_GLOBS for f in root.glob(pattern)}
+    )
+    if not files:
+        print(f"check_md_links: no Markdown files found under {root}")
+        return 1
+
+    anchor_cache: dict = {}
+    errors = []
+    for md in files:
+        for line_no, target in iter_links(md):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
+                continue
+            raw_path, _, fragment = target.partition("#")
+            if raw_path:
+                resolved = (md.parent / raw_path).resolve()
+                if not resolved.exists():
+                    errors.append(
+                        f"{md}:{line_no}: broken link target '{target}'"
+                    )
+                    continue
+            else:
+                resolved = md.resolve()
+            if fragment:
+                if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                    continue  # anchors into non-Markdown: not checkable
+                if resolved not in anchor_cache:
+                    anchor_cache[resolved] = heading_anchors(resolved)
+                if fragment.lower() not in anchor_cache[resolved]:
+                    errors.append(
+                        f"{md}:{line_no}: broken anchor '#{fragment}' "
+                        f"in '{target}'"
+                    )
+
+    for error in errors:
+        print(error)
+    checked = ", ".join(str(f.relative_to(root)) for f in files)
+    if errors:
+        print(f"check_md_links: {len(errors)} broken link(s) in [{checked}]")
+        return 1
+    print(f"check_md_links: OK ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,358 @@
+// Kernel-backend perf-regression harness.
+//
+// Sweeps every supported KernelBackend over (a) raw AND+popcount span
+// throughput and (b) the end-to-end Eq. (5) pass (AndPopcountAllEdges)
+// on the Table II dataset stand-ins, cross-checking every count
+// against the CPU baseline, and writes the results to a
+// machine-readable BENCH_kernels.json so subsequent PRs have a perf
+// trajectory to regress against (see docs/KERNELS.md for the schema
+// and the regression workflow).
+//
+// Usage:
+//   perf_harness [--out FILE] [--print-best]
+//     --out FILE     JSON output path (default BENCH_kernels.json)
+//     --print-best   print the widest supported backend name and exit
+//                    (used by CI to build its forced-backend matrix)
+//
+// Knobs: TCIM_SCALE / TCIM_SEED / TCIM_DATA_DIR as in every bench, and
+// TCIM_KERNEL has no effect here — the harness forces each backend
+// explicitly.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baseline/cpu_tc.h"
+#include "bench_common.h"
+#include "bitmatrix/kernel_backend.h"
+#include "bitmatrix/sliced_matrix.h"
+#include "core/bitwise_tc.h"
+#include "graph/orientation.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace tcim;
+
+struct ThroughputResult {
+  bit::KernelBackend backend;
+  std::size_t words = 0;
+  double gbps = 0.0;
+  double speedup_vs_scalar = 1.0;
+};
+
+struct BackendLatency {
+  bit::KernelBackend backend;
+  double seconds = 0.0;
+  double speedup_vs_scalar = 1.0;
+};
+
+struct EndToEndResult {
+  std::string dataset;
+  std::uint32_t slice_bits = 64;
+  std::uint64_t triangles = 0;
+  bool verified = false;
+  std::vector<BackendLatency> backends;
+};
+
+/// Raw span-kernel throughput at one span size; reps calibrated so
+/// each backend runs >= ~0.2 s of kernel time.
+std::vector<ThroughputResult> MeasureThroughputAt(std::size_t words) {
+  util::Xoshiro256 rng(util::BaseSeed());
+  std::vector<std::uint64_t> a(words);
+  std::vector<std::uint64_t> b(words);
+  for (auto& w : a) w = rng();
+  for (auto& w : b) w = rng();
+
+  const std::uint64_t expected =
+      bit::AndPopcountBackend(a, b, bit::KernelBackend::kScalar);
+
+  std::vector<ThroughputResult> results;
+  double scalar_gbps = 0.0;
+  for (const bit::KernelBackend backend : bit::SupportedKernelBackends()) {
+    // Calibrate: time one pass, then pick reps for ~0.2 s total.
+    util::Timer calibrate;
+    std::uint64_t count = bit::AndPopcountBackend(a, b, backend);
+    const double once = std::max(calibrate.ElapsedSeconds(), 1e-9);
+    if (count != expected) {
+      std::cerr << "FATAL: backend " << bit::ToString(backend)
+                << " disagrees with scalar on the throughput input\n";
+      std::exit(1);
+    }
+    const int reps =
+        static_cast<int>(std::max(1.0, std::min(2e6, 0.2 / once)));
+    util::Timer timer;
+    std::uint64_t sink = 0;
+    for (int r = 0; r < reps; ++r) {
+      sink += bit::AndPopcountBackend(a, b, backend);
+    }
+    const double seconds = timer.ElapsedSeconds();
+    if (sink != expected * static_cast<std::uint64_t>(reps)) {
+      std::cerr << "FATAL: backend " << bit::ToString(backend)
+                << " non-deterministic across repetitions\n";
+      std::exit(1);
+    }
+    // Two input streams of `words` 64-bit words per call.
+    const double bytes = 2.0 * 8.0 * static_cast<double>(words) * reps;
+    ThroughputResult r;
+    r.backend = backend;
+    r.words = words;
+    r.gbps = bytes / seconds / 1e9;
+    if (backend == bit::KernelBackend::kScalar) scalar_gbps = r.gbps;
+    results.push_back(r);
+  }
+  for (auto& r : results) {
+    r.speedup_vs_scalar = scalar_gbps > 0 ? r.gbps / scalar_gbps : 1.0;
+  }
+  return results;
+}
+
+/// Two span sizes: 2 Ki words keeps both streams L1-resident (pure
+/// kernel speed), 64 Ki words spills to L2/L3 (bulk-bitwise regime of
+/// a whole-store PopcountWords pass).
+std::vector<ThroughputResult> MeasureThroughput() {
+  std::vector<ThroughputResult> all;
+  for (const std::size_t words : {std::size_t{1} << 11, std::size_t{1} << 16}) {
+    const auto at = MeasureThroughputAt(words);
+    all.insert(all.end(), at.begin(), at.end());
+  }
+  return all;
+}
+
+/// End-to-end Eq. (5) pass per backend on one dataset at one slice
+/// width; the count is cross-checked against the CPU baseline once.
+EndToEndResult MeasureEndToEnd(const graph::DatasetInstance& inst,
+                               std::uint32_t slice_bits,
+                               std::uint64_t cpu_triangles) {
+  EndToEndResult result;
+  result.dataset = graph::GetPaperRef(inst.id).name;
+  result.slice_bits = slice_bits;
+
+  const bit::SlicedMatrix matrix = core::BuildSlicedMatrix(
+      inst.graph, graph::Orientation::kUpper, slice_bits);
+
+  const bit::KernelBackend saved = bit::ActiveBackend();
+  double scalar_seconds = 0.0;
+  for (const bit::KernelBackend backend : bit::SupportedKernelBackends()) {
+    bit::SetActiveBackend(backend);
+    // Best-of-3 to shrug off scheduler noise on shared machines.
+    double best = 0.0;
+    std::uint64_t count = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      util::Timer timer;
+      count = matrix.AndPopcountAllEdges();
+      const double s = timer.ElapsedSeconds();
+      if (rep == 0 || s < best) best = s;
+    }
+    const std::uint64_t triangles =
+        count / graph::CountMultiplier(graph::Orientation::kUpper);
+    if (result.backends.empty()) {
+      result.triangles = triangles;
+      result.verified = triangles == cpu_triangles;
+    } else if (triangles != result.triangles) {
+      std::cerr << "FATAL: backend " << bit::ToString(backend)
+                << " count diverges on " << result.dataset << "\n";
+      std::exit(1);
+    }
+    BackendLatency lat;
+    lat.backend = backend;
+    lat.seconds = best;
+    if (backend == bit::KernelBackend::kScalar) scalar_seconds = best;
+    result.backends.push_back(lat);
+  }
+  bit::SetActiveBackend(saved);
+  for (auto& lat : result.backends) {
+    lat.speedup_vs_scalar = lat.seconds > 0 ? scalar_seconds / lat.seconds
+                                            : 1.0;
+  }
+  return result;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void WriteJson(const std::string& path,
+               const std::vector<ThroughputResult>& throughput,
+               const std::vector<EndToEndResult>& end_to_end) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "FATAL: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  os << "{\n";
+  os << "  \"bench\": \"kernels\",\n";
+  os << "  \"schema_version\": 1,\n";
+  os << "  \"scale\": " << util::WorkloadScale(0.25) << ",\n";
+  os << "  \"seed\": " << util::BaseSeed() << ",\n";
+  os << "  \"machine\": {\n";
+  os << "    \"compiled_backends\": [";
+  bool first = true;
+  for (const auto backend : bit::AllKernelBackends()) {
+    if (!bit::BackendCompiledIn(backend)) continue;
+    os << (first ? "" : ", ") << '"' << bit::ToString(backend) << '"';
+    first = false;
+  }
+  os << "],\n    \"supported_backends\": [";
+  first = true;
+  for (const auto backend : bit::SupportedKernelBackends()) {
+    os << (first ? "" : ", ") << '"' << bit::ToString(backend) << '"';
+    first = false;
+  }
+  os << "],\n    \"best_backend\": \""
+     << bit::ToString(bit::BestSupportedBackend()) << "\"\n  },\n";
+
+  os << "  \"kernel_throughput\": [\n";
+  for (std::size_t i = 0; i < throughput.size(); ++i) {
+    const auto& r = throughput[i];
+    os << "    {\"backend\": \"" << bit::ToString(r.backend)
+       << "\", \"words\": " << r.words << ", \"gbps\": " << r.gbps
+       << ", \"speedup_vs_scalar\": " << r.speedup_vs_scalar << "}"
+       << (i + 1 < throughput.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+
+  os << "  \"end_to_end\": [\n";
+  for (std::size_t i = 0; i < end_to_end.size(); ++i) {
+    const auto& e = end_to_end[i];
+    os << "    {\"dataset\": \"" << JsonEscape(e.dataset)
+       << "\", \"slice_bits\": " << e.slice_bits
+       << ", \"triangles\": " << e.triangles
+       << ", \"verified\": " << (e.verified ? "true" : "false")
+       << ", \"backends\": [";
+    for (std::size_t j = 0; j < e.backends.size(); ++j) {
+      const auto& lat = e.backends[j];
+      os << (j == 0 ? "" : ", ") << "{\"backend\": \""
+         << bit::ToString(lat.backend) << "\", \"seconds\": " << lat.seconds
+         << ", \"speedup_vs_scalar\": " << lat.speedup_vs_scalar << "}";
+    }
+    os << "]}" << (i + 1 < end_to_end.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--print-best") {
+      std::cout << bit::ToString(bit::BestSupportedBackend()) << "\n";
+      return 0;
+    }
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: perf_harness [--out FILE] [--print-best]\n";
+      return 2;
+    }
+  }
+
+  bench::PrintHeader("Kernel backends: Eq. (5) host hot-path sweep",
+                     "Raw AND+popcount span throughput and end-to-end "
+                     "AndPopcountAllEdges latency per SIMD backend,\n"
+                     "every count cross-checked against the CPU baseline.");
+
+  std::cout << "Backends: compiled[";
+  for (const auto backend : bit::AllKernelBackends()) {
+    if (bit::BackendCompiledIn(backend)) {
+      std::cout << " " << bit::ToString(backend);
+    }
+  }
+  std::cout << " ]  supported[";
+  for (const auto backend : bit::SupportedKernelBackends()) {
+    std::cout << " " << bit::ToString(backend);
+  }
+  std::cout << " ]  best: " << bit::ToString(bit::BestSupportedBackend())
+            << "\n\n";
+
+  // --- Part A: raw kernel throughput -------------------------------------
+  const std::vector<ThroughputResult> throughput = MeasureThroughput();
+  {
+    util::TablePrinter table(
+        {"Backend", "Words/span", "GB/s", "Speedup vs scalar"},
+        {util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+         util::Align::kRight});
+    for (const auto& r : throughput) {
+      table.AddRow({bit::ToString(r.backend), std::to_string(r.words),
+                    util::TablePrinter::Fixed(r.gbps, 2),
+                    util::TablePrinter::Ratio(r.speedup_vs_scalar, 2)});
+    }
+    std::cout << "Span kernel, two input streams, bit-exact across "
+                 "backends (2 Ki words: L1-resident; 64 Ki: L2+):\n";
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  // --- Part B: end-to-end Eq. (5) pass ------------------------------------
+  std::vector<EndToEndResult> end_to_end;
+  for (const graph::PaperRef& ref : graph::AllPaperRefs()) {
+    const graph::DatasetInstance inst = bench::LoadDataset(ref.id);
+    bench::PrintProvenance(std::cout, inst);
+    const std::uint64_t cpu_triangles =
+        baseline::CountTrianglesReference(inst.graph);
+    // |S|=64 is the paper's default (1 word per slice AND: dispatch-
+    // bound); |S|=512 gives the SIMD backends whole-vector slices.
+    for (const std::uint32_t slice_bits : {64u, 512u}) {
+      end_to_end.push_back(MeasureEndToEnd(inst, slice_bits, cpu_triangles));
+      if (!end_to_end.back().verified) {
+        std::cerr << "FATAL: " << ref.name << " |S|=" << slice_bits
+                  << " count does not match the CPU baseline\n";
+        return 1;
+      }
+    }
+  }
+  {
+    std::vector<std::string> headers = {"Dataset", "|S|", "Triangles",
+                                        "Verified"};
+    std::vector<util::Align> aligns = {util::Align::kLeft, util::Align::kRight,
+                                       util::Align::kRight,
+                                       util::Align::kLeft};
+    for (const auto backend : bit::SupportedKernelBackends()) {
+      headers.push_back(std::string(bit::ToString(backend)) + " [ms]");
+      aligns.push_back(util::Align::kRight);
+    }
+    util::TablePrinter table(headers, aligns);
+    for (const auto& e : end_to_end) {
+      std::vector<std::string> row = {
+          e.dataset, std::to_string(e.slice_bits),
+          util::TablePrinter::WithThousands(e.triangles),
+          e.verified ? "yes" : "NO"};
+      for (const auto& lat : e.backends) {
+        row.push_back(util::TablePrinter::Fixed(lat.seconds * 1e3, 2));
+      }
+      table.AddRow(row);
+    }
+    std::cout << "\nEnd-to-end AndPopcountAllEdges (best of 3, upper "
+                 "orientation):\n";
+    table.Print(std::cout);
+  }
+
+  WriteJson(out_path, throughput, end_to_end);
+  std::cout << "\nWrote " << out_path << "\n";
+
+  // Closing check mirrored by the JSON: the widest SIMD backend should
+  // beat the scalar span kernel clearly, or something regressed.
+  double best_simd = 1.0;
+  for (const auto& r : throughput) {
+    if (r.backend != bit::KernelBackend::kScalar &&
+        r.backend != bit::KernelBackend::kSwar64x4) {
+      best_simd = std::max(best_simd, r.speedup_vs_scalar);
+    }
+  }
+  std::cout << "Best SIMD speedup vs scalar (span kernel): "
+            << util::TablePrinter::Ratio(best_simd, 2)
+            << (best_simd >= 2.0 ? "  [OK >= 2x]" : "  [WARN < 2x]") << "\n";
+  return 0;
+}

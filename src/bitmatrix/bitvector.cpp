@@ -66,9 +66,10 @@ void BitVector::XorWith(const BitVector& other) {
   Normalize();
 }
 
-std::uint64_t BitVector::AndCount(const BitVector& other) const {
+std::uint64_t BitVector::AndCount(const BitVector& other,
+                                  PopcountKind kind) const {
   CheckSameSize(other);
-  return AndPopcount(words_, other.words_);
+  return AndPopcount(words_, other.words_, kind);
 }
 
 void BitVector::Normalize() noexcept {

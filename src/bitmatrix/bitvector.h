@@ -48,8 +48,13 @@ class BitVector {
   void XorWith(const BitVector& other);
 
   /// popcount(this & other) without materializing the intersection —
-  /// the software analogue of one full-row Eq. (5) evaluation.
-  [[nodiscard]] std::uint64_t AndCount(const BitVector& other) const;
+  /// the software analogue of one full-row Eq. (5) evaluation. The
+  /// caller-selected strategy is honoured (it used to be silently
+  /// dropped in favour of kBuiltin; regression-tested via the kLut8
+  /// invocation counter).
+  [[nodiscard]] std::uint64_t AndCount(
+      const BitVector& other,
+      PopcountKind kind = PopcountKind::kBuiltin) const;
 
   /// Calls `fn(pos)` for each set bit, in increasing position order.
   template <typename Fn>

@@ -2,8 +2,16 @@
 
 #include <array>
 
+#include "bitmatrix/kernel_backend.h"
+
 namespace tcim::bit {
 namespace {
+
+// Per-thread call counter for the hardware-model path; see
+// Lut8Invocations(). thread_local keeps the increment a plain add —
+// an atomic here would put a locked RMW inside the loop the strategy
+// benchmarks measure.
+thread_local std::uint64_t t_lut8_invocations = 0;
 
 constexpr std::array<std::uint8_t, 256> MakeLut8() {
   std::array<std::uint8_t, 256> lut{};
@@ -32,6 +40,7 @@ const std::array<std::uint8_t, 65536>& Lut16() {
 }  // namespace
 
 int PopcountLut8(std::uint64_t x) noexcept {
+  ++t_lut8_invocations;
   // Eight byte lookups summed pairwise — mirrors the hardware adder
   // tree (4 + 2 + 1 adders) described in paper §V-A.
   const int b0 = kLut8[static_cast<std::uint8_t>(x)];
@@ -48,6 +57,8 @@ int PopcountLut8(std::uint64_t x) noexcept {
   const int s3 = b6 + b7;
   return (s0 + s1) + (s2 + s3);
 }
+
+std::uint64_t Lut8Invocations() noexcept { return t_lut8_invocations; }
 
 int PopcountLut16(std::uint64_t x) noexcept {
   const auto& lut = Lut16();
@@ -73,6 +84,10 @@ int Popcount(std::uint64_t x, PopcountKind kind) noexcept {
 
 std::uint64_t PopcountWords(std::span<const std::uint64_t> words,
                             PopcountKind kind) noexcept {
+  if (kind == PopcountKind::kBuiltin) {
+    // Host fast path: the active SIMD kernel backend.
+    return PopcountWordsActive(words.data(), words.size());
+  }
   std::uint64_t total = 0;
   for (const std::uint64_t w : words) {
     total += static_cast<std::uint64_t>(Popcount(w, kind));
@@ -84,6 +99,11 @@ std::uint64_t AndPopcount(std::span<const std::uint64_t> a,
                           std::span<const std::uint64_t> b,
                           PopcountKind kind) noexcept {
   const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  if (kind == PopcountKind::kBuiltin) {
+    // Host fast path: the active SIMD kernel backend. The hardware-
+    // model strategies below keep the exact per-word loop instead.
+    return AndPopcountActive(a.data(), b.data(), n);
+  }
   std::uint64_t total = 0;
   for (std::size_t k = 0; k < n; ++k) {
     total += static_cast<std::uint64_t>(Popcount(a[k] & b[k], kind));

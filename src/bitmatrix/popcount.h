@@ -7,7 +7,14 @@
 // builtin — all behaviourally identical, which the tests assert and the
 // micro-kernel bench compares for throughput.
 //
-// Layer: §5 bitmatrix — see docs/ARCHITECTURE.md.
+// Span kernels (PopcountWords / AndPopcount) called with the default
+// PopcountKind::kBuiltin route through the process-wide SIMD kernel
+// backend (kernel_backend.h) — the vectorized host stand-in for the
+// in-MRAM AND+BitCount unit. The hardware-model strategies (kSwar,
+// kLut8, kLut16) always run the exact per-word loop so pim::BitCounter
+// and the ablations stay faithful to the modeled structure.
+//
+// Layer: §5 bitmatrix — see docs/ARCHITECTURE.md and docs/KERNELS.md.
 #pragma once
 
 #include <bit>
@@ -18,7 +25,8 @@ namespace tcim::bit {
 
 /// Which popcount implementation to use.
 enum class PopcountKind : std::uint8_t {
-  kBuiltin,   ///< std::popcount (POPCNT instruction where available)
+  kBuiltin,   ///< host fast path: SIMD backend for spans (kernel_backend.h),
+              ///< std::popcount for single words
   kSwar,      ///< branch-free SWAR bit trickery
   kLut8,      ///< per-byte 8->256 LUT + adder tree (hardware model)
   kLut16,     ///< per-halfword 16->65536 LUT
@@ -35,6 +43,13 @@ enum class PopcountKind : std::uint8_t {
 /// Per-byte LUT popcount — the software twin of the paper's 8-256 LUT
 /// bit counter module.
 [[nodiscard]] int PopcountLut8(std::uint64_t x) noexcept;
+
+/// Number of PopcountLut8 calls made by the *calling thread* so far.
+/// The LUT path is the hardware *model*, not a fast path — this
+/// counter lets tests assert that a caller which requested kLut8
+/// really exercised it (and that hot paths did not). Per-thread so
+/// the increment stays a plain add inside the benchmarked loop.
+[[nodiscard]] std::uint64_t Lut8Invocations() noexcept;
 
 /// Per-16-bit LUT popcount.
 [[nodiscard]] int PopcountLut16(std::uint64_t x) noexcept;

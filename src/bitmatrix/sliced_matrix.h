@@ -153,7 +153,10 @@ class SlicedMatrix {
   /// Software evaluation of Eq. (5) over the compressed stores: for
   /// every non-zero A[i][j], Σ BitCount(AND(RiSk, CjSk)) over valid
   /// pairs. With an upper-triangular (oriented) adjacency this *is*
-  /// the triangle count; the caller owns that interpretation.
+  /// the triangle count; the caller owns that interpretation. At the
+  /// default kind (kBuiltin) every slice AND runs on the active SIMD
+  /// kernel backend (kernel_backend.h); the hardware-model kinds run
+  /// the exact per-word strategy instead.
   [[nodiscard]] std::uint64_t AndPopcountAllEdges(
       PopcountKind kind = PopcountKind::kBuiltin) const;
 

@@ -187,7 +187,9 @@ class SlicedStore {
 /// Eq. (5) kernel generalized beyond the row x col pairing of
 /// SlicedMatrix. The stores must share slice_bits. If `pairs` is
 /// non-null it is incremented by the number of slice ANDs issued (the
-/// streaming layer's AND-op accounting).
+/// streaming layer's AND-op accounting). Like AndPopcountAllEdges,
+/// the default kind routes each slice AND through the active SIMD
+/// kernel backend (kernel_backend.h).
 [[nodiscard]] std::uint64_t AndPopcountVectors(
     const SlicedStore& a, std::uint32_t va, const SlicedStore& b,
     std::uint32_t vb, PopcountKind kind = PopcountKind::kBuiltin,

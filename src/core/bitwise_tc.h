@@ -35,7 +35,9 @@ namespace tcim::core {
     graph::Orientation orientation = graph::Orientation::kUpper);
 
 /// Sliced evaluation of Eq. (5) — the "w/o PIM" software path.
-/// Returns the triangle count (orientation multiplier applied).
+/// Returns the triangle count (orientation multiplier applied). At
+/// the default popcount the slice ANDs run on the active SIMD kernel
+/// backend (bit::ActiveBackend, forceable via TCIM_KERNEL).
 [[nodiscard]] std::uint64_t CountTrianglesSliced(
     const graph::Graph& g,
     graph::Orientation orientation = graph::Orientation::kUpper,

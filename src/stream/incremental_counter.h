@@ -52,6 +52,9 @@ struct StreamConfig {
   /// bench/scaling_stream sweep puts the measured crossover near
   /// 0.5–1% of edges on the Table II stand-ins, hence the 1% default.
   double recount_fraction = 0.01;
+  /// Strategy for the 4-way AND-popcount kernel and recount passes; at
+  /// the default (kBuiltin) every slice AND runs on the active SIMD
+  /// kernel backend (bit::ActiveBackend, forceable via TCIM_KERNEL).
   bit::PopcountKind popcount = bit::PopcountKind::kBuiltin;
 };
 

@@ -32,6 +32,14 @@ std::uint64_t EnvU64(const std::string& name, std::uint64_t fallback) {
   return parsed;
 }
 
+std::string EnvString(const std::string& name, const std::string& fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') {
+    return fallback;
+  }
+  return raw;
+}
+
 double WorkloadScale(double fallback) {
   return EnvDouble("TCIM_SCALE", fallback, 1e-4, 1.0);
 }

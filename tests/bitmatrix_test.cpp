@@ -201,6 +201,32 @@ TEST(BitVector, EqualityComparesContents) {
   EXPECT_EQ(a, b);
 }
 
+TEST(BitVector, AndCountHonoursRequestedStrategy) {
+  // Regression: AndCount used to drop the caller-selected strategy and
+  // always run the kBuiltin default. Force kLut8 and assert via the
+  // LUT invocation counter that the hardware-model path really ran —
+  // and that the default path does NOT touch it.
+  util::Xoshiro256 rng(23);
+  BitVector a(640);
+  BitVector b(640);
+  for (int i = 0; i < 250; ++i) {
+    a.Set(rng.UniformBelow(640));
+    b.Set(rng.UniformBelow(640));
+  }
+  const std::uint64_t expected = a.AndCount(b);
+
+  const std::uint64_t lut_before = Lut8Invocations();
+  EXPECT_EQ(a.AndCount(b, PopcountKind::kLut8), expected);
+  // One LUT call per word of the span.
+  EXPECT_EQ(Lut8Invocations() - lut_before, a.word_count());
+
+  const std::uint64_t lut_after = Lut8Invocations();
+  EXPECT_EQ(a.AndCount(b), expected);
+  EXPECT_EQ(a.AndCount(b, PopcountKind::kSwar), expected);
+  EXPECT_EQ(Lut8Invocations(), lut_after)
+      << "non-LUT strategies must not touch the hardware-model path";
+}
+
 TEST(BitVector, CountMatchesAcrossStrategies) {
   util::Xoshiro256 rng(17);
   BitVector v(1000);

@@ -1,0 +1,255 @@
+// Tests for the SIMD kernel-backend subsystem (kernel_backend.h):
+// backend enumeration/naming, runtime detection invariants, bit-exact
+// parity of every supported backend against the scalar reference over
+// adversarial span shapes, the TCIM_KERNEL env override, and
+// whole-pipeline count parity on the Table II stand-ins.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "baseline/cpu_tc.h"
+#include "bitmatrix/kernel_backend.h"
+#include "bitmatrix/popcount.h"
+#include "core/bitwise_tc.h"
+#include "graph/datasets.h"
+#include "util/rng.h"
+
+namespace tcim::bit {
+namespace {
+
+/// Restores the active backend (and TCIM_KERNEL) on scope exit so a
+/// failing test cannot leak a forced backend into later tests.
+class BackendGuard {
+ public:
+  BackendGuard() : saved_(ActiveBackend()) {
+    const char* env = std::getenv("TCIM_KERNEL");
+    if (env != nullptr) saved_env_ = env;
+  }
+  ~BackendGuard() {
+    if (saved_env_.has_value()) {
+      ::setenv("TCIM_KERNEL", saved_env_->c_str(), 1);
+    } else {
+      ::unsetenv("TCIM_KERNEL");
+    }
+    SetActiveBackend(saved_);
+  }
+
+ private:
+  KernelBackend saved_;
+  std::optional<std::string> saved_env_;
+};
+
+/// Trivially-correct reference, independent of every backend.
+std::uint64_t ReferenceAndPopcount(const std::vector<std::uint64_t>& a,
+                                   const std::vector<std::uint64_t>& b) {
+  std::uint64_t total = 0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::uint64_t>(std::popcount(a[i] & b[i]));
+  }
+  return total;
+}
+
+TEST(KernelBackend, NamesRoundTrip) {
+  for (const KernelBackend backend : AllKernelBackends()) {
+    const auto parsed = ParseKernelBackend(ToString(backend));
+    ASSERT_TRUE(parsed.has_value()) << ToString(backend);
+    EXPECT_EQ(*parsed, backend);
+  }
+  EXPECT_EQ(ParseKernelBackend("swar"), KernelBackend::kSwar64x4);
+  EXPECT_EQ(ParseKernelBackend("avx512"), KernelBackend::kAvx512Vpopcnt);
+  EXPECT_FALSE(ParseKernelBackend("auto").has_value());
+  EXPECT_FALSE(ParseKernelBackend("").has_value());
+  EXPECT_FALSE(ParseKernelBackend("AVX2").has_value());
+}
+
+TEST(KernelBackend, DetectionInvariants) {
+  // The portable backends can never be absent: they are the fallback.
+  EXPECT_TRUE(BackendCompiledIn(KernelBackend::kScalar));
+  EXPECT_TRUE(BackendCompiledIn(KernelBackend::kSwar64x4));
+  EXPECT_TRUE(BackendSupported(KernelBackend::kScalar));
+  EXPECT_TRUE(BackendSupported(KernelBackend::kSwar64x4));
+  // Supported implies compiled in, and the auto pick must be runnable.
+  for (const KernelBackend backend : AllKernelBackends()) {
+    if (BackendSupported(backend)) {
+      EXPECT_TRUE(BackendCompiledIn(backend)) << ToString(backend);
+    }
+  }
+  EXPECT_TRUE(BackendSupported(BestSupportedBackend()));
+  EXPECT_TRUE(BackendSupported(ActiveBackend()));
+}
+
+TEST(KernelBackend, UnsupportedBackendThrowsInsteadOfExecuting) {
+  for (const KernelBackend backend : AllKernelBackends()) {
+    if (BackendSupported(backend)) continue;
+    const std::vector<std::uint64_t> w = {0xFFULL};
+    EXPECT_THROW((void)AndPopcountBackend(w, w, backend),
+                 std::invalid_argument)
+        << ToString(backend);
+    EXPECT_THROW(SetActiveBackend(backend), std::invalid_argument)
+        << ToString(backend);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parity: every supported backend, adversarial lengths x fill patterns.
+
+class BackendParityTest : public ::testing::TestWithParam<KernelBackend> {
+ protected:
+  void SetUp() override {
+    if (!BackendSupported(GetParam())) {
+      GTEST_SKIP() << ToString(GetParam())
+                   << " is not executable on this machine";
+    }
+  }
+};
+
+/// Lengths covering 0, 1, and 1–7-word tails past each SIMD block
+/// width in play (NEON pairs = 2, AVX2 vector = 4, AVX-512 = 8/16,
+/// Harley–Seal block = 64).
+const std::size_t kLengths[] = {0,  1,  2,  3,  4,  5,   6,   7,   8,  9,
+                                11, 15, 16, 17, 19, 23,  31,  32,  33, 37,
+                                63, 64, 65, 67, 71, 127, 128, 131, 200};
+
+enum class Fill { kZero, kOnes, kDense, kSparse, kAlternating };
+
+std::vector<std::uint64_t> MakeWords(std::size_t n, Fill fill,
+                                     std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> words(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (fill) {
+      case Fill::kZero:
+        words[i] = 0;
+        break;
+      case Fill::kOnes:
+        words[i] = ~0ULL;
+        break;
+      case Fill::kDense:
+        words[i] = rng();
+        break;
+      case Fill::kSparse:
+        words[i] = 1ULL << (rng() % 64);
+        break;
+      case Fill::kAlternating:
+        words[i] = (i % 2 == 0) ? 0xAAAAAAAAAAAAAAAAULL
+                                : 0x5555555555555555ULL;
+        break;
+    }
+  }
+  return words;
+}
+
+TEST_P(BackendParityTest, AndPopcountMatchesScalarOnAllShapes) {
+  const KernelBackend backend = GetParam();
+  const Fill fills[] = {Fill::kZero, Fill::kOnes, Fill::kDense, Fill::kSparse,
+                        Fill::kAlternating};
+  std::uint64_t seed = 1;
+  for (const std::size_t n : kLengths) {
+    for (const Fill fa : fills) {
+      for (const Fill fb : fills) {
+        const auto a = MakeWords(n, fa, seed++);
+        const auto b = MakeWords(n, fb, seed++);
+        const std::uint64_t expected = ReferenceAndPopcount(a, b);
+        ASSERT_EQ(AndPopcountBackend(a, b, backend), expected)
+            << ToString(backend) << " n=" << n << " fills=("
+            << static_cast<int>(fa) << "," << static_cast<int>(fb) << ")";
+        ASSERT_EQ(AndPopcountBackend(a, b, KernelBackend::kScalar), expected);
+      }
+    }
+  }
+}
+
+TEST_P(BackendParityTest, PopcountWordsMatchesScalar) {
+  const KernelBackend backend = GetParam();
+  for (const std::size_t n : kLengths) {
+    const auto w = MakeWords(n, Fill::kDense, 7 + n);
+    ASSERT_EQ(PopcountWordsBackend(w, backend),
+              PopcountWordsBackend(w, KernelBackend::kScalar))
+        << ToString(backend) << " n=" << n;
+  }
+}
+
+TEST_P(BackendParityTest, MismatchedSpanSizesUseCommonPrefix) {
+  const auto a = MakeWords(70, Fill::kDense, 1001);
+  const auto b = MakeWords(33, Fill::kDense, 1002);
+  EXPECT_EQ(AndPopcountBackend(a, b, GetParam()),
+            ReferenceAndPopcount(a, b));
+}
+
+TEST_P(BackendParityTest, SpanApiRoutesThroughForcedBackend) {
+  // AndPopcount/PopcountWords at kBuiltin must agree with the scalar
+  // reference under every forced backend (dispatch divergence check).
+  BackendGuard guard;
+  SetActiveBackend(GetParam());
+  EXPECT_EQ(ActiveBackend(), GetParam());
+  const auto a = MakeWords(129, Fill::kDense, 2001);
+  const auto b = MakeWords(129, Fill::kDense, 2002);
+  EXPECT_EQ(AndPopcount(a, b), ReferenceAndPopcount(a, b));
+  EXPECT_EQ(PopcountWords(a, PopcountKind::kBuiltin),
+            ReferenceAndPopcount(a, a));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendParityTest,
+    ::testing::ValuesIn(std::vector<KernelBackend>(
+        AllKernelBackends().begin(), AllKernelBackends().end())),
+    [](const auto& info) { return std::string(ToString(info.param)); });
+
+// ---------------------------------------------------------------------------
+// TCIM_KERNEL env override.
+
+TEST(KernelBackendEnv, ForcedDispatchThroughEnv) {
+  BackendGuard guard;
+  ::setenv("TCIM_KERNEL", "scalar", 1);
+  EXPECT_EQ(RefreshActiveBackendFromEnv(), KernelBackend::kScalar);
+  EXPECT_EQ(ActiveBackend(), KernelBackend::kScalar);
+
+  for (const KernelBackend backend : SupportedKernelBackends()) {
+    ::setenv("TCIM_KERNEL", ToString(backend), 1);
+    EXPECT_EQ(RefreshActiveBackendFromEnv(), backend);
+    EXPECT_EQ(ActiveBackend(), backend);
+  }
+}
+
+TEST(KernelBackendEnv, AutoAndUnsetPickBestSupported) {
+  BackendGuard guard;
+  ::setenv("TCIM_KERNEL", "auto", 1);
+  EXPECT_EQ(RefreshActiveBackendFromEnv(), BestSupportedBackend());
+  ::unsetenv("TCIM_KERNEL");
+  EXPECT_EQ(RefreshActiveBackendFromEnv(), BestSupportedBackend());
+}
+
+TEST(KernelBackendEnv, UnknownValueFallsBackToAuto) {
+  BackendGuard guard;
+  ::setenv("TCIM_KERNEL", "quantum", 1);
+  EXPECT_EQ(RefreshActiveBackendFromEnv(), BestSupportedBackend());
+}
+
+// ---------------------------------------------------------------------------
+// Whole-pipeline parity: identical triangle counts on the nine Table II
+// stand-ins for every supported backend (tiny scale keeps this a unit
+// test; the perf harness covers the full-scale sweep).
+
+TEST(KernelBackendPipeline, TableTwoStandInsCountIdenticallyOnAllBackends) {
+  BackendGuard guard;
+  for (const graph::PaperRef& ref : graph::AllPaperRefs()) {
+    const graph::DatasetInstance inst =
+        graph::SynthesizePaperGraph(ref.id, /*scale=*/0.02, /*seed=*/42);
+    const std::uint64_t expected =
+        baseline::CountTrianglesReference(inst.graph);
+    const bit::SlicedMatrix matrix = core::BuildSlicedMatrix(
+        inst.graph, graph::Orientation::kUpper, /*slice_bits=*/64);
+    for (const KernelBackend backend : SupportedKernelBackends()) {
+      SetActiveBackend(backend);
+      EXPECT_EQ(core::CountTrianglesSliced(matrix, graph::Orientation::kUpper),
+                expected)
+          << ref.name << " backend=" << ToString(backend);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcim::bit

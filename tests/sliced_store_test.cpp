@@ -3,10 +3,14 @@
 // statistics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bitmatrix/sliced_matrix.h"
 #include "bitmatrix/sliced_store.h"
+#include "util/env.h"
 #include "util/rng.h"
 
 namespace tcim::bit {
@@ -272,6 +276,157 @@ TEST(SlicedMatrix, RejectsOutOfRangeNeighbor) {
 
 TEST(SlicedMatrix, HeapBytesPositiveForNonEmpty) {
   EXPECT_GT(Fig2Matrix().HeapBytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded fuzz-style stress test for ApplyEdits: hundreds of randomized
+// flip batches against a dense reference model, every intermediate
+// state cross-checked against a freshly sliced store. On failure the
+// SCOPED_TRACE prints the (slice_bits, run, seed) triple — rerun with
+// that seed hard-coded to reproduce.
+
+/// Dense mutable model the compressed store is checked against.
+struct DenseModel {
+  std::uint32_t num_vectors = 0;
+  std::uint64_t universe = 0;
+  std::vector<std::vector<bool>> bits;  // bits[v][pos]
+
+  void Grow(std::uint32_t nv, std::uint64_t uni) {
+    num_vectors = std::max(num_vectors, nv);
+    universe = std::max(universe, uni);
+    bits.resize(num_vectors);
+    for (auto& row : bits) row.resize(universe, false);
+  }
+
+  [[nodiscard]] SlicedStore Freshly(std::uint32_t slice_bits) const {
+    std::vector<std::uint64_t> offsets = {0};
+    std::vector<std::uint32_t> positions;
+    for (const auto& row : bits) {
+      for (std::uint32_t p = 0; p < row.size(); ++p) {
+        if (row[p]) positions.push_back(p);
+      }
+      offsets.push_back(positions.size());
+    }
+    return SlicedStore::FromCsr(num_vectors, universe, offsets, positions,
+                                slice_bits);
+  }
+};
+
+void ExpectStoreMatchesModel(const SlicedStore& store,
+                             const DenseModel& model,
+                             std::uint32_t slice_bits) {
+  const SlicedStore fresh = model.Freshly(slice_bits);
+  ASSERT_EQ(store.num_vectors(), fresh.num_vectors());
+  ASSERT_EQ(store.universe(), fresh.universe());
+  ASSERT_EQ(store.valid_slice_count(), fresh.valid_slice_count());
+  ASSERT_EQ(store.set_bit_count(), fresh.set_bit_count());
+  ASSERT_EQ(store.compressed_bytes(), fresh.compressed_bytes());
+  for (std::uint32_t v = 0; v < store.num_vectors(); ++v) {
+    const auto live = store.SliceIndices(v);
+    const auto want = fresh.SliceIndices(v);
+    ASSERT_TRUE(std::equal(live.begin(), live.end(), want.begin(),
+                           want.end()))
+        << "slice indices diverge at vector " << v;
+    ASSERT_EQ(store.ToBitVector(v), fresh.ToBitVector(v))
+        << "payload diverges at vector " << v;
+  }
+}
+
+TEST(SlicedStoreFuzz, RandomizedFlipBatchesMatchFreshSlicing) {
+  // TCIM_SEED shifts the whole sweep (reproduce any CI failure by
+  // exporting the seed from the trace message).
+  const std::uint64_t base_seed = 0xF1A9 + util::SplitMix64(util::BaseSeed());
+  for (const std::uint32_t slice_bits : {32u, 64u, 192u}) {
+    for (int run = 0; run < 3; ++run) {
+      const std::uint64_t seed =
+          util::SplitMix64(base_seed + slice_bits * 131 + run);
+      SCOPED_TRACE("slice_bits=" + std::to_string(slice_bits) + " run=" +
+                   std::to_string(run) + " seed=" + std::to_string(seed));
+      util::Xoshiro256 rng(seed);
+
+      DenseModel model;
+      model.Grow(12, 5 * slice_bits + 7);  // non-aligned universe
+      // Seed ~25% fill so both set and clear flips are plentiful.
+      for (auto& row : model.bits) {
+        for (std::size_t p = 0; p < row.size(); ++p) {
+          row[p] = rng() % 4 == 0;
+        }
+      }
+      SlicedStore store = model.Freshly(slice_bits);
+
+      for (int batch = 0; batch < 120; ++batch) {
+        // Occasionally grow the store mid-stream.
+        std::uint32_t new_nv = model.num_vectors;
+        std::uint64_t new_uni = model.universe;
+        if (batch % 17 == 16) {
+          new_nv += static_cast<std::uint32_t>(rng() % 3);
+          new_uni += rng() % (slice_bits + 2);
+          model.Grow(new_nv, new_uni);
+        }
+
+        const int edits = 1 + static_cast<int>(rng() % 20);
+        std::vector<SliceEdit> edit_batch;
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> touched;
+        for (int e = 0; e < edits; ++e) {
+          const auto v = static_cast<std::uint32_t>(rng() % model.num_vectors);
+          std::uint64_t pos = rng() % model.universe;
+          switch (rng() % 4) {
+            case 0:  // slice-boundary bit
+              pos = std::min<std::uint64_t>(
+                  (pos / slice_bits) * slice_bits, model.universe - 1);
+              break;
+            case 1:  // last bit of a slice (recompaction trigger when
+                     // it is the slice's only set bit)
+              pos = std::min<std::uint64_t>(
+                  (pos / slice_bits) * slice_bits + slice_bits - 1,
+                  model.universe - 1);
+              break;
+            default:
+              break;  // uniform
+          }
+          const auto p32 = static_cast<std::uint32_t>(pos);
+          bool dup = false;
+          for (const auto& [tv, tp] : touched) {
+            if (tv == v && tp == p32) dup = true;
+          }
+          if (dup) continue;  // duplicates are tested separately below
+          touched.emplace_back(v, p32);
+          const bool set = !model.bits[v][p32];
+          edit_batch.push_back(SliceEdit{v, p32, set});
+          model.bits[v][p32] = set;
+        }
+
+        const std::uint64_t before_valid = store.valid_slice_count();
+        const PatchStats stats = store.ApplyEdits(edit_batch, new_nv, new_uni);
+        ExpectStoreMatchesModel(store, model, slice_bits);
+        if (::testing::Test::HasFatalFailure()) return;
+        // Structural accounting must reconcile with the slice census.
+        ASSERT_EQ(before_valid + stats.slices_inserted - stats.slices_removed,
+                  store.valid_slice_count());
+        ASSERT_EQ(stats.bits_patched + stats.slices_inserted +
+                      stats.slices_removed >
+                      0,
+                  !edit_batch.empty());
+
+        // Every ~9th batch: malformed batches must throw and leave the
+        // store untouched (duplicate edit, then a non-flip edit).
+        if (batch % 9 == 3 && !edit_batch.empty()) {
+          std::vector<SliceEdit> bad = {edit_batch.front(),
+                                        edit_batch.front()};
+          EXPECT_THROW((void)store.ApplyEdits(bad, new_nv, new_uni),
+                       std::invalid_argument);
+          const SliceEdit& last = edit_batch.back();
+          // Re-applying the same flip is now a non-flip (set of a set
+          // bit or clear of a clear bit).
+          std::vector<SliceEdit> nonflip = {last};
+          EXPECT_THROW((void)store.ApplyEdits(nonflip, new_nv, new_uni),
+                       std::invalid_argument);
+          ExpectStoreMatchesModel(store, model, slice_bits);
+          if (::testing::Test::HasFatalFailure()) return;
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -244,6 +244,16 @@ TEST(Env, U64FallbackAndParse) {
   ::unsetenv("TCIM_TEST_SEED");
 }
 
+TEST(Env, StringFallbackAndRead) {
+  ::unsetenv("TCIM_TEST_KERNEL");
+  EXPECT_EQ(EnvString("TCIM_TEST_KERNEL", "auto"), "auto");
+  ::setenv("TCIM_TEST_KERNEL", "", 1);
+  EXPECT_EQ(EnvString("TCIM_TEST_KERNEL", "auto"), "auto");
+  ::setenv("TCIM_TEST_KERNEL", "avx2", 1);
+  EXPECT_EQ(EnvString("TCIM_TEST_KERNEL", "auto"), "avx2");
+  ::unsetenv("TCIM_TEST_KERNEL");
+}
+
 TEST(Timer, MeasuresElapsedTime) {
   Timer t;
   volatile double x = 0;

@@ -19,9 +19,11 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <optional>
 #include <span>
 #include <string_view>
+#include <vector>
 
 namespace tcim::bit {
 
@@ -55,6 +57,12 @@ inline constexpr std::size_t kNumKernelBackends = 5;
 /// True when this binary contains code for the backend (compile-time
 /// guard: e.g. kNeon is never compiled into an x86 binary).
 [[nodiscard]] bool BackendCompiledIn(KernelBackend backend) noexcept;
+
+/// True when the kScalar backend executes the hardware POPCNT
+/// instruction on this CPU. Whenever this holds, auto-dispatch must
+/// never pick kSwar64x4: the SWAR reduction only earns its keep as the
+/// fallback on machines without a popcount instruction.
+[[nodiscard]] bool ScalarHasPopcntInstruction() noexcept;
 
 /// True when the backend is compiled in *and* this CPU can execute it
 /// (runtime feature detection). kScalar and kSwar64x4 are always
@@ -99,5 +107,83 @@ KernelBackend RefreshActiveBackendFromEnv();
                                               std::size_t n) noexcept;
 [[nodiscard]] std::uint64_t PopcountWordsActive(const std::uint64_t* words,
                                                 std::size_t n) noexcept;
+
+// ---------------------------------------------------------------------------
+// Batched pair kernel.
+//
+// A per-slice-pair AndPopcount call pays the full dispatch bill —
+// atomic backend load, kind switch, SIMD prologue/epilogue — for a
+// payload of 1–8 words, which is why the |S|=64 end-to-end numbers in
+// the schema-v1 BENCH_kernels.json seed LOST to scalar on 13 of 18
+// rows while the span kernel won 5x in isolation (see docs/KERNELS.md,
+// "Dispatch cost and batching"). The batched form restores the
+// microbenchmark economics: callers gather matched (row-slice,
+// col-slice) word pairs into a PairArena and hand the whole block to
+// AndPopcountPairs — ONE dispatch resolution per block, and because the
+// two sides are stored as parallel contiguous word streams, pair
+// boundaries vanish: Σ_pairs Σ_k popcount(a_k & b_k) is exactly the
+// span kernel over the concatenation, so every backend amortizes its
+// setup and reduction tree across thousands of pairs.
+
+/// Reusable gather arena for the batched Eq. (5) kernel. Not
+/// thread-safe; give each thread its own arena and reuse it across
+/// batches (Clear() keeps the capacity).
+class PairArena {
+ public:
+  /// Appends one matched pair: `width` words from `a` and `width`
+  /// words from `b` (the words of one row slice and one column slice).
+  void Push(const std::uint64_t* a, const std::uint64_t* b,
+            std::size_t width) {
+    if (size_ + width > a_.size()) Grow(size_ + width);
+    std::memcpy(a_.data() + size_, a, width * sizeof(std::uint64_t));
+    std::memcpy(b_.data() + size_, b, width * sizeof(std::uint64_t));
+    size_ += width;
+    ++pairs_;
+  }
+
+  /// Forgets the gathered pairs but keeps the allocation.
+  void Clear() noexcept {
+    size_ = 0;
+    pairs_ = 0;
+  }
+
+  /// Pre-sizes the backing blocks (optional; Push grows on demand).
+  void Reserve(std::size_t words) {
+    if (words > a_.size()) Grow(words);
+  }
+
+  [[nodiscard]] bool Empty() const noexcept { return size_ == 0; }
+  /// Gathered words per side (Σ width over pairs).
+  [[nodiscard]] std::size_t word_count() const noexcept { return size_; }
+  /// Number of Push calls since the last Clear — the "valid pairs"
+  /// accounting of the gathered block.
+  [[nodiscard]] std::size_t pair_count() const noexcept { return pairs_; }
+
+  /// The two contiguous word blocks (equal length word_count()).
+  [[nodiscard]] std::span<const std::uint64_t> a() const noexcept {
+    return {a_.data(), size_};
+  }
+  [[nodiscard]] std::span<const std::uint64_t> b() const noexcept {
+    return {b_.data(), size_};
+  }
+
+ private:
+  void Grow(std::size_t need);
+
+  std::vector<std::uint64_t> a_;
+  std::vector<std::uint64_t> b_;
+  std::size_t size_ = 0;
+  std::size_t pairs_ = 0;
+};
+
+/// Σ popcount(a & b) over every pair gathered in `arena`, evaluated by
+/// the active backend with one dispatch resolution for the whole
+/// block — the batched Eq. (5) hot path.
+[[nodiscard]] std::uint64_t AndPopcountPairs(const PairArena& arena) noexcept;
+
+/// Same with an explicit backend (parity tests, perf harness). Throws
+/// std::invalid_argument when the backend is not supported.
+[[nodiscard]] std::uint64_t AndPopcountPairsBackend(const PairArena& arena,
+                                                    KernelBackend backend);
 
 }  // namespace tcim::bit

@@ -10,7 +10,11 @@
 // Span kernels (PopcountWords / AndPopcount) called with the default
 // PopcountKind::kBuiltin route through the process-wide SIMD kernel
 // backend (kernel_backend.h) — the vectorized host stand-in for the
-// in-MRAM AND+BitCount unit. The hardware-model strategies (kSwar,
+// in-MRAM AND+BitCount unit. A per-slice-pair AndPopcount call pays
+// the whole dispatch bill for a 1–8 word payload, so the Eq. (5) hot
+// paths gather their pairs and use the batched form instead
+// (bit::PairArena + bit::AndPopcountPairs; see docs/KERNELS.md,
+// "Dispatch cost and batching"). The hardware-model strategies (kSwar,
 // kLut8, kLut16) always run the exact per-word loop so pim::BitCounter
 // and the ablations stay faithful to the modeled structure.
 //

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "bitmatrix/kernel_backend.h"
+
 namespace tcim::bit {
 
 SlicedMatrix SlicedMatrix::FromCsr(std::uint32_t num_vertices,
@@ -59,20 +61,87 @@ MatrixPatchStats SlicedMatrix::ApplyArcEdits(std::span<const ArcEdit> edits,
   return stats;
 }
 
+namespace {
+
+// Flush granularity of the batched Eq. (5) gather: 2 Ki words = 16 KiB
+// per side keeps BOTH gathered blocks L1-resident (the regime where
+// the span kernel's SIMD advantage peaks) while still amortizing one
+// backend dispatch over hundreds-to-thousands of slice pairs.
+constexpr std::size_t kGatherFlushWords = std::size_t{1} << 11;
+
+}  // namespace
+
 std::uint64_t SlicedMatrix::AndPopcountAllEdges(PopcountKind kind) const {
+  return AndPopcountRows(0, num_vertices(), kind);
+}
+
+std::uint64_t SlicedMatrix::AndPopcountRows(std::uint32_t row_begin,
+                                            std::uint32_t row_end,
+                                            PopcountKind kind) const {
+  if (row_begin > row_end || row_end > num_vertices()) {
+    throw std::out_of_range("SlicedMatrix::AndPopcountRows: invalid range");
+  }
   std::uint64_t total = 0;
-  const std::uint32_t n = num_vertices();
-  for (std::uint32_t i = 0; i < n; ++i) {
+  if (kind != PopcountKind::kBuiltin) {
+    // Hardware-model strategies (kSwar/kLut8/kLut16) keep the exact
+    // per-word per-pair loop — they model structure, not throughput.
+    for (std::uint32_t i = row_begin; i < row_end; ++i) {
+      rows_.ForEachSetBit(i, [&](std::uint64_t j64) {
+        const auto j = static_cast<std::uint32_t>(j64);
+        ForEachValidPair(i, j, [&](std::uint32_t /*slice*/, std::size_t ra,
+                                   std::size_t cb) {
+          total += AndPopcount(rows_.SliceWords(i, ra),
+                               cols_.SliceWords(j, cb), kind);
+        });
+      });
+    }
+    return total;
+  }
+
+  // Batched host path: one gather pass per pivot row — the row's
+  // valid slices are indexed ONCE into a sparse lookup table (the
+  // §IV-A row-reuse idea on the host), so each edge pays O(|Cj|)
+  // lookups instead of re-merging the row's whole valid-slice list;
+  // every matched pair lands in the arena, and the backend consumes
+  // whole blocks with a single dispatch each instead of one per pair.
+  PairArena arena;
+  arena.Reserve(kGatherFlushWords + rows_.words_per_slice());
+  const std::size_t width = rows_.words_per_slice();
+  // row_ordinal_of_slice[k] = ordinal of slice k within the current
+  // pivot row, or -1. Only the row's own entries are ever written and
+  // reset, so the table costs O(|Ri|) per row after one O(slots) init.
+  std::vector<std::int32_t> row_ordinal_of_slice(
+      static_cast<std::size_t>(rows_.slices_per_vector()), -1);
+  for (std::uint32_t i = row_begin; i < row_end; ++i) {
+    const SlicedStore::VectorSlices row = rows_.Slices(i);
+    if (row.indices.empty()) continue;
+    for (std::size_t a = 0; a < row.indices.size(); ++a) {
+      row_ordinal_of_slice[row.indices[a]] = static_cast<std::int32_t>(a);
+    }
     rows_.ForEachSetBit(i, [&](std::uint64_t j64) {
       const auto j = static_cast<std::uint32_t>(j64);
-      ForEachValidPair(i, j, [&](std::uint32_t /*slice*/, std::size_t ra,
-                                 std::size_t cb) {
-        total += AndPopcount(rows_.SliceWords(i, ra), cols_.SliceWords(j, cb),
-                             kind);
-      });
+      // Column j holds bit i (the arc exists), so it has valid slices.
+      const SlicedStore::VectorSlices col = cols_.Slices(j);
+      for (std::size_t b = 0; b < col.indices.size(); ++b) {
+        const std::int32_t a = row_ordinal_of_slice[col.indices[b]];
+        if (a >= 0) {
+          arena.Push(row.words + static_cast<std::size_t>(a) * width,
+                     col.words + b * width, width);
+        }
+      }
+      // Flush per edge, not per row: a single hub row can gather far
+      // past the L1 budget otherwise (pair boundaries don't affect
+      // the sum, so flushing mid-row is safe).
+      if (arena.word_count() >= kGatherFlushWords) {
+        total += AndPopcountPairs(arena);
+        arena.Clear();
+      }
     });
+    for (const std::uint32_t slice : row.indices) {
+      row_ordinal_of_slice[slice] = -1;
+    }
   }
-  return total;
+  return total + AndPopcountPairs(arena);
 }
 
 SliceStats SlicedMatrix::ComputeStats() const {

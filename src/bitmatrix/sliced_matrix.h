@@ -154,10 +154,22 @@ class SlicedMatrix {
   /// every non-zero A[i][j], Σ BitCount(AND(RiSk, CjSk)) over valid
   /// pairs. With an upper-triangular (oriented) adjacency this *is*
   /// the triangle count; the caller owns that interpretation. At the
-  /// default kind (kBuiltin) every slice AND runs on the active SIMD
-  /// kernel backend (kernel_backend.h); the hardware-model kinds run
-  /// the exact per-word strategy instead.
+  /// default kind (kBuiltin) the valid slice pairs are gathered per
+  /// pivot row and evaluated in large blocks by the batched pair
+  /// kernel — one backend dispatch per block, not per slice pair
+  /// (kernel_backend.h, "Batched pair kernel"); the hardware-model
+  /// kinds run the exact per-word per-pair loop instead.
   [[nodiscard]] std::uint64_t AndPopcountAllEdges(
+      PopcountKind kind = PopcountKind::kBuiltin) const;
+
+  /// Eq. (5) over rows [row_begin, row_end) only — the shard unit of
+  /// the multi-bank runtime's host-kernel path (runtime::BankPool::
+  /// HostCount). Column lookups see the whole matrix, so disjoint row
+  /// ranges partition AndPopcountAllEdges() exactly: summing shards
+  /// reproduces the full pass. Throws std::out_of_range on an invalid
+  /// range. Same batching rules as AndPopcountAllEdges.
+  [[nodiscard]] std::uint64_t AndPopcountRows(
+      std::uint32_t row_begin, std::uint32_t row_end,
       PopcountKind kind = PopcountKind::kBuiltin) const;
 
   /// Full statistics pass (Tables III/IV); costs one edge iteration.

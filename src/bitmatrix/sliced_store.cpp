@@ -310,13 +310,51 @@ PatchStats SlicedStore::ApplyEdits(std::span<const SliceEdit> edits,
   return stats;
 }
 
+std::size_t GatherValidPairs(const SlicedStore& a, std::uint32_t va,
+                             const SlicedStore& b, std::uint32_t vb,
+                             PairArena& arena) {
+  if (a.slice_bits() != b.slice_bits()) {
+    throw std::invalid_argument(
+        "GatherValidPairs: stores disagree on slice_bits");
+  }
+  const SlicedStore::VectorSlices sa = a.Slices(va);
+  const SlicedStore::VectorSlices sb = b.Slices(vb);
+  if (sa.indices.empty() || sb.indices.empty()) return 0;
+  const std::size_t width = a.words_per_slice();
+  std::size_t x = 0;
+  std::size_t y = 0;
+  std::size_t appended = 0;
+  while (x < sa.indices.size() && y < sb.indices.size()) {
+    if (sa.indices[x] < sb.indices[y]) {
+      ++x;
+    } else if (sa.indices[x] > sb.indices[y]) {
+      ++y;
+    } else {
+      arena.Push(sa.words + x * width, sb.words + y * width, width);
+      ++appended;
+      ++x;
+      ++y;
+    }
+  }
+  return appended;
+}
+
 std::uint64_t AndPopcountVectors(const SlicedStore& a, std::uint32_t va,
                                  const SlicedStore& b, std::uint32_t vb,
                                  PopcountKind kind, std::uint64_t* pairs) {
+  if (kind == PopcountKind::kBuiltin) {
+    // Batched host path: gather the matched slices, one dispatch.
+    thread_local PairArena arena;
+    arena.Clear();
+    const std::size_t matched = GatherValidPairs(a, va, b, vb, arena);
+    if (pairs != nullptr) *pairs += matched;
+    return AndPopcountPairs(arena);
+  }
   if (a.slice_bits() != b.slice_bits()) {
     throw std::invalid_argument(
         "AndPopcountVectors: stores disagree on slice_bits");
   }
+  // Hardware-model strategies keep the exact per-word per-pair loop.
   const std::span<const std::uint32_t> ia = a.SliceIndices(va);
   const std::span<const std::uint32_t> ib = b.SliceIndices(vb);
   std::uint64_t total = 0;

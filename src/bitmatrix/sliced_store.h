@@ -18,9 +18,11 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "bitmatrix/bitvector.h"
+#include "bitmatrix/kernel_backend.h"
 #include "bitmatrix/popcount.h"
 
 namespace tcim::bit {
@@ -125,6 +127,29 @@ class SlicedStore {
   [[nodiscard]] std::uint64_t GlobalOrdinal(std::uint32_t v,
                                             std::size_t ordinal) const;
 
+  /// One-lookup view of vector v's valid slices for gather loops:
+  /// sorted slice indices plus the raw words base — the words of
+  /// indices[k] start at words + k * words_per_slice(). `words` is
+  /// meaningful only when indices is non-empty. Equivalent to
+  /// combining SliceIndices(v) with per-ordinal SliceWords() calls,
+  /// but with ONE bounds check and one offsets_ load for the whole
+  /// vector — the per-edge column lookup of the batched Eq. (5)
+  /// gather is memory-latency-bound, so duplicate checked loads
+  /// showed in the end-to-end numbers.
+  struct VectorSlices {
+    std::span<const std::uint32_t> indices;
+    const std::uint64_t* words;
+  };
+  [[nodiscard]] VectorSlices Slices(std::uint32_t v) const {
+    if (v >= num_vectors_) {
+      throw std::out_of_range("SlicedStore::Slices: vector out of range");
+    }
+    const std::uint64_t begin = offsets_[v];
+    const std::uint64_t end = offsets_[v + 1];
+    return {{indices_.data() + begin, static_cast<std::size_t>(end - begin)},
+            words_.data() + begin * words_per_slice_};
+  }
+
   /// O(log slices) membership test of one bit of vector v.
   [[nodiscard]] bool TestBit(std::uint32_t v, std::uint64_t position) const;
 
@@ -181,6 +206,17 @@ class SlicedStore {
   std::vector<std::uint64_t> words_;    // words_per_slice_ per valid slice
 };
 
+/// Merges the valid-slice index lists of (a, va) and (b, vb) and
+/// appends every matched pair's slice words to `arena` — the gather
+/// half of the batched Eq. (5) kernel (AndPopcountPairs consumes the
+/// block). Returns the number of pairs appended. Callers batching
+/// several vector pairs (e.g. the stream layer's 4-way wedge kernel)
+/// gather them all before issuing ONE dispatched call. The stores must
+/// share slice_bits.
+std::size_t GatherValidPairs(const SlicedStore& a, std::uint32_t va,
+                             const SlicedStore& b, std::uint32_t vb,
+                             PairArena& arena);
+
 /// AND-popcount of two stored vectors from any store combination
 /// (row x row, row x col, ...): merges the two sorted valid-slice
 /// index lists and sums BitCount(AND) over the matching slices — the
@@ -188,8 +224,10 @@ class SlicedStore {
 /// SlicedMatrix. The stores must share slice_bits. If `pairs` is
 /// non-null it is incremented by the number of slice ANDs issued (the
 /// streaming layer's AND-op accounting). Like AndPopcountAllEdges,
-/// the default kind routes each slice AND through the active SIMD
-/// kernel backend (kernel_backend.h).
+/// the default kind gathers the matched slices and evaluates them with
+/// ONE dispatched call on the active SIMD kernel backend
+/// (AndPopcountPairs); the hardware-model kinds keep the exact
+/// per-word per-pair loop.
 [[nodiscard]] std::uint64_t AndPopcountVectors(
     const SlicedStore& a, std::uint32_t va, const SlicedStore& b,
     std::uint32_t vb, PopcountKind kind = PopcountKind::kBuiltin,

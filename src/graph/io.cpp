@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -40,19 +41,43 @@ Graph ReadSnapEdgeList(std::istream& in) {
   std::unordered_map<std::uint64_t, VertexId> remap;
   std::string line;
   std::uint64_t line_no = 0;
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r';
+  };
   while (std::getline(in, line)) {
     ++line_no;
-    const std::size_t first =
-        line.find_first_not_of(" \t\r");
+    const std::size_t first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos) continue;
     if (line[first] == '#' || line[first] == '%') continue;
     const char* p = line.c_str() + first;
     char* end = nullptr;
     const unsigned long long u = std::strtoull(p, &end, 10);
     if (end == p) Fail("unparsable line " + std::to_string(line_no));
+    // A token must end at whitespace or end-of-line: "2garbage" parsing
+    // as 2 would silently corrupt the edge list.
+    if (*end != '\0' && !is_space(*end)) {
+      Fail("trailing junk after first id on line " + std::to_string(line_no));
+    }
     p = end;
     const unsigned long long v = std::strtoull(p, &end, 10);
     if (end == p) Fail("missing second id on line " + std::to_string(line_no));
+    if (*end != '\0' && !is_space(*end)) {
+      Fail("trailing junk after second id on line " + std::to_string(line_no));
+    }
+    // SNAP files may carry extra columns (temporal edge lists'
+    // timestamps, weighted lists' real-valued weights): accept
+    // additional *numeric* tokens — integer or floating-point — and
+    // reject anything else so junk cannot ride along unnoticed.
+    p = end;
+    for (;;) {
+      while (is_space(*p)) ++p;
+      if (*p == '\0') break;
+      (void)std::strtod(p, &end);
+      if (end == p || (*end != '\0' && !is_space(*end))) {
+        Fail("trailing junk on line " + std::to_string(line_no));
+      }
+      p = end;
+    }
     raw_edges.emplace_back(u, v);
     remap.try_emplace(u, 0);
     remap.try_emplace(v, 0);

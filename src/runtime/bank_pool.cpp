@@ -110,21 +110,12 @@ BankPool::BankPool(BankPoolConfig config)
   }
 }
 
-ClusterResult BankPool::Count(const graph::Graph& g) const {
-  util::Timer timer;
-  const graph::Orientation orientation = config_.accelerator.orientation;
-  const std::uint32_t slice_bits = banks_.front()->config().slice_bits;
-
-  // Offline stages (Fig. 4 "data slicing"), shared across banks.
-  const graph::OrientedCsr csr = graph::Orient(g, orientation);
-  const bit::SlicedMatrix matrix = bit::SlicedMatrix::FromCsr(
-      csr.num_vertices, csr.offsets, csr.neighbors, slice_bits);
-  GraphPartition partition =
-      PartitionOrientedCsr(csr, num_banks(), config_.partition);
-
-  // Fan the shards out; one completion latch per Count() call so
-  // concurrent Counts can interleave on the same worker pool.
-  std::vector<core::TcimResult> per_bank(num_banks());
+void BankPool::RunShards(
+    const GraphPartition& partition,
+    const std::function<void(std::uint32_t, const ShardInfo&)>& run_shard)
+    const {
+  // One completion latch per call so concurrent Count()/HostCount()
+  // invocations can interleave on the same worker pool.
   std::mutex mu;
   std::condition_variable done_cv;
   std::uint32_t remaining = num_banks();
@@ -141,8 +132,7 @@ ClusterResult BankPool::Count(const graph::Graph& g) const {
       workers_.Post([&, b, shard] {
         std::exception_ptr error;
         try {
-          per_bank[b] = banks_[b]->RunOnMatrixRows(
-              matrix, orientation, shard.row_begin, shard.row_end);
+          run_shard(b, shard);
         } catch (...) {
           error = std::current_exception();
         }
@@ -164,13 +154,51 @@ ClusterResult BankPool::Count(const graph::Graph& g) const {
   }
   wait_for_shards();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+BankPool::PreparedRun BankPool::Prepare(const graph::Graph& g) const {
+  const graph::OrientedCsr csr =
+      graph::Orient(g, config_.accelerator.orientation);
+  const std::uint32_t slice_bits = banks_.front()->config().slice_bits;
+  return PreparedRun{
+      bit::SlicedMatrix::FromCsr(csr.num_vertices, csr.offsets, csr.neighbors,
+                                 slice_bits),
+      PartitionOrientedCsr(csr, num_banks(), config_.partition)};
+}
+
+ClusterResult BankPool::Count(const graph::Graph& g) const {
+  util::Timer timer;
+  const graph::Orientation orientation = config_.accelerator.orientation;
+  PreparedRun run = Prepare(g);
+
+  std::vector<core::TcimResult> per_bank(num_banks());
+  RunShards(run.partition, [&](std::uint32_t b, const ShardInfo& shard) {
+    per_bank[b] = banks_[b]->RunOnMatrixRows(run.matrix, orientation,
+                                             shard.row_begin, shard.row_end);
+  });
 
   ClusterResult cluster =
-      AggregateClusterResult(std::move(partition), orientation,
-                             std::move(per_bank), matrix.ComputeStats(),
+      AggregateClusterResult(std::move(run.partition), orientation,
+                             std::move(per_bank), run.matrix.ComputeStats(),
                              config_.accelerator.perf);
   cluster.host_seconds = timer.ElapsedSeconds();
   return cluster;
+}
+
+std::uint64_t BankPool::HostCount(const graph::Graph& g) const {
+  const PreparedRun run = Prepare(g);
+
+  // Each shard runs the batched host kernel over its owned row range;
+  // disjoint ranges partition the raw Eq. (5) sum exactly, and the
+  // orientation divide happens once on the cluster total (a single
+  // kFullSymmetric shard's bitcount need not be divisible by 6).
+  std::vector<std::uint64_t> per_bank(num_banks(), 0);
+  RunShards(run.partition, [&](std::uint32_t b, const ShardInfo& shard) {
+    per_bank[b] = run.matrix.AndPopcountRows(shard.row_begin, shard.row_end);
+  });
+  std::uint64_t raw = 0;
+  for (const std::uint64_t shard_count : per_bank) raw += shard_count;
+  return raw / graph::CountMultiplier(config_.accelerator.orientation);
 }
 
 }  // namespace tcim::runtime

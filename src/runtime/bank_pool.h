@@ -95,6 +95,16 @@ class BankPool {
   /// TcimAccelerator::Run(g).triangles for every graph.
   [[nodiscard]] ClusterResult Count(const graph::Graph& g) const;
 
+  /// Host-kernel twin of Count(): same orient → slice → partition
+  /// pipeline and the same per-bank row shards, but each shard runs
+  /// the *batched host* Eq. (5) pass (SlicedMatrix::AndPopcountRows on
+  /// the active SIMD kernel backend) instead of the functional in-MRAM
+  /// simulation — the fast path when only the count is needed, not the
+  /// architectural statistics. Raw shard bitcounts are summed before
+  /// the orientation divide, so the result is exact for every
+  /// orientation: HostCount(g) == Count(g).triangles.
+  [[nodiscard]] std::uint64_t HostCount(const graph::Graph& g) const;
+
   [[nodiscard]] std::uint32_t num_banks() const noexcept {
     return static_cast<std::uint32_t>(banks_.size());
   }
@@ -106,6 +116,22 @@ class BankPool {
   }
 
  private:
+  /// The shared offline stages (Fig. 4 "data slicing") of Count() and
+  /// HostCount(): orient, slice, partition.
+  struct PreparedRun {
+    bit::SlicedMatrix matrix;
+    GraphPartition partition;
+  };
+  [[nodiscard]] PreparedRun Prepare(const graph::Graph& g) const;
+
+  /// Fans one task per shard out to the worker pool and waits for all
+  /// of them; the first shard exception (if any) is rethrown. Shared
+  /// by Count() and HostCount().
+  void RunShards(
+      const GraphPartition& partition,
+      const std::function<void(std::uint32_t, const ShardInfo&)>& run_shard)
+      const;
+
   BankPoolConfig config_;
   std::vector<std::unique_ptr<core::TcimAccelerator>> banks_;
   mutable WorkerPool workers_;

@@ -33,21 +33,37 @@ std::uint64_t IncrementalCounter::MatrixCommonNeighbors(
   if (u >= m.num_vertices() || v >= m.num_vertices()) return 0;
   const bit::SlicedStore& rows = m.rows();
   const bit::SlicedStore& cols = m.cols();
-  if (config_.orientation == graph::Orientation::kFullSymmetric) {
-    // row_u is the whole neighbourhood: one AND covers it.
+  const bool symmetric =
+      config_.orientation == graph::Orientation::kFullSymmetric;
+  if (config_.popcount != bit::PopcountKind::kBuiltin) {
+    // Hardware-model strategies keep the exact per-pair evaluation.
+    if (symmetric) {
+      // row_u is the whole neighbourhood: one AND covers it.
+      return bit::AndPopcountVectors(rows, u, rows, v, config_.popcount,
+                                     and_ops);
+    }
     return bit::AndPopcountVectors(rows, u, rows, v, config_.popcount,
+                                   and_ops) +
+           bit::AndPopcountVectors(rows, u, cols, v, config_.popcount,
+                                   and_ops) +
+           bit::AndPopcountVectors(cols, u, rows, v, config_.popcount,
+                                   and_ops) +
+           bit::AndPopcountVectors(cols, u, cols, v, config_.popcount,
                                    and_ops);
   }
-  // N(u) = row_u (out) ⊎ col_u (in): the common neighbourhood is the
-  // disjoint sum of the four store combinations.
-  return bit::AndPopcountVectors(rows, u, rows, v, config_.popcount,
-                                 and_ops) +
-         bit::AndPopcountVectors(rows, u, cols, v, config_.popcount,
-                                 and_ops) +
-         bit::AndPopcountVectors(cols, u, rows, v, config_.popcount,
-                                 and_ops) +
-         bit::AndPopcountVectors(cols, u, cols, v, config_.popcount,
-                                 and_ops);
+  // Batched host path. N(u) = row_u (out) ⊎ col_u (in): the common
+  // neighbourhood is the disjoint sum of the four store combinations
+  // (just row/row when full-symmetric), so all four gather into one
+  // arena and a single backend dispatch evaluates the whole wedge.
+  wedge_arena_.Clear();
+  std::size_t matched = bit::GatherValidPairs(rows, u, rows, v, wedge_arena_);
+  if (!symmetric) {
+    matched += bit::GatherValidPairs(rows, u, cols, v, wedge_arena_);
+    matched += bit::GatherValidPairs(cols, u, rows, v, wedge_arena_);
+    matched += bit::GatherValidPairs(cols, u, cols, v, wedge_arena_);
+  }
+  if (and_ops != nullptr) *and_ops += matched;
+  return bit::AndPopcountPairs(wedge_arena_);
 }
 
 BatchResult IncrementalCounter::ApplyBatch(const EdgeDelta& delta) {

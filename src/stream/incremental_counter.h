@@ -30,6 +30,7 @@
 
 #include <cstdint>
 
+#include "bitmatrix/kernel_backend.h"
 #include "bitmatrix/popcount.h"
 #include "graph/graph.h"
 #include "graph/orientation.h"
@@ -95,13 +96,20 @@ class IncrementalCounter {
 
  private:
   /// |N(u) ∩ N(v)| against the pre-batch matrix (zero for vertices
-  /// beyond its universe).
+  /// beyond its universe). At the default kBuiltin the four store
+  /// combinations are gathered into wedge_arena_ and evaluated by ONE
+  /// batched backend dispatch (kernel_backend.h) instead of four
+  /// per-pair sweeps.
   [[nodiscard]] std::uint64_t MatrixCommonNeighbors(
       graph::VertexId u, graph::VertexId v, std::uint64_t* and_ops) const;
 
   StreamConfig config_;
   DynamicGraph graph_;
   std::uint64_t triangles_ = 0;
+  /// Gather scratch of the 4-way wedge kernel, reused across ops of a
+  /// batch. mutable: MatrixCommonNeighbors is logically const; the
+  /// class is single-writer (ApplyBatch is not thread-safe) already.
+  mutable bit::PairArena wedge_arena_;
 };
 
 }  // namespace tcim::stream

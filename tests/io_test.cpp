@@ -65,6 +65,59 @@ TEST(SnapReader, IgnoresExtraColumns) {
   EXPECT_EQ(g.num_edges(), 2u);
 }
 
+TEST(SnapReader, RejectsTrailingJunkGluedToAnId) {
+  // "1 2garbage" must not silently parse as edge (1, 2).
+  std::istringstream second("1 2garbage\n");
+  EXPECT_THROW(ReadSnapEdgeList(second), std::runtime_error);
+  std::istringstream first("1x 2\n");
+  EXPECT_THROW(ReadSnapEdgeList(first), std::runtime_error);
+}
+
+TEST(SnapReader, RejectsNonNumericExtraColumns) {
+  std::istringstream in("0 1 ok-then\n");
+  EXPECT_THROW(ReadSnapEdgeList(in), std::runtime_error);
+  std::istringstream glued("0 1 123abc\n");
+  EXPECT_THROW(ReadSnapEdgeList(glued), std::runtime_error);
+}
+
+TEST(SnapReader, AcceptsRealValuedWeightColumns) {
+  // Weighted edge lists carry float weights; they are numeric extra
+  // columns, not junk.
+  std::istringstream in("0 1 0.75\n1 2 -3.5e-2 7\n");
+  const Graph g = ReadSnapEdgeList(in);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(SnapReader, JunkErrorsNameTheLine) {
+  std::istringstream in("0 1\n# fine\n2 3oops\n");
+  try {
+    (void)ReadSnapEdgeList(in);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SnapReader, AcceptsCrlfLineEndings) {
+  std::istringstream in("# comment\r\n0\t1\r\n1 2 1588893600\r\n\r\n");
+  const Graph g = ReadSnapEdgeList(in);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+}
+
+TEST(SnapReader, BothCommentStylesAnywhere) {
+  std::istringstream in(
+      "% matrix-market style header\n"
+      "0 1\n"
+      "  # indented snap comment\n"
+      "  % indented percent comment\n"
+      "1 2\n");
+  const Graph g = ReadSnapEdgeList(in);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
 TEST(SnapRoundTrip, WriteThenReadPreservesGraph) {
   const Graph original = HolmeKim(200, 1000, 0.5, 3);
   std::stringstream buffer;

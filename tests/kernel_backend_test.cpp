@@ -179,6 +179,113 @@ TEST_P(BackendParityTest, MismatchedSpanSizesUseCommonPrefix) {
             ReferenceAndPopcount(a, b));
 }
 
+// ---------------------------------------------------------------------------
+// Batched pair kernel: for every supported backend, the single-dispatch
+// block evaluation must equal the per-pair loop it replaced — across
+// every words_per_slice in play (1..8), empty and single-pair arenas,
+// odd tails past every SIMD block width, and blocks big enough to
+// cross the internal flush/Harley–Seal boundaries.
+
+TEST_P(BackendParityTest, BatchedPairsMatchPerPairLoop) {
+  const KernelBackend backend = GetParam();
+  util::Xoshiro256 rng(99);
+  for (std::size_t width = 1; width <= 8; ++width) {
+    for (const std::size_t pairs : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{3}, std::size_t{7},
+                                    std::size_t{65}, std::size_t{1021}}) {
+      PairArena arena;
+      std::uint64_t expected = 0;
+      std::vector<std::uint64_t> a(width);
+      std::vector<std::uint64_t> b(width);
+      for (std::size_t p = 0; p < pairs; ++p) {
+        for (std::size_t k = 0; k < width; ++k) {
+          // Mix of dense and sparse pair payloads.
+          a[k] = (p % 3 == 0) ? rng() : 1ULL << (rng() % 64);
+          b[k] = (p % 5 == 0) ? ~0ULL : rng();
+        }
+        arena.Push(a.data(), b.data(), width);
+        expected += ReferenceAndPopcount(a, b);
+      }
+      ASSERT_EQ(arena.pair_count(), pairs);
+      ASSERT_EQ(arena.word_count(), pairs * width);
+      ASSERT_EQ(AndPopcountPairsBackend(arena, backend), expected)
+          << ToString(backend) << " width=" << width << " pairs=" << pairs;
+    }
+  }
+}
+
+TEST_P(BackendParityTest, BatchedPairsRouteThroughForcedDispatch) {
+  BackendGuard guard;
+  SetActiveBackend(GetParam());
+  util::Xoshiro256 rng(7);
+  PairArena arena;
+  std::uint64_t expected = 0;
+  std::vector<std::uint64_t> a(4);
+  std::vector<std::uint64_t> b(4);
+  for (int p = 0; p < 37; ++p) {
+    for (auto& w : a) w = rng();
+    for (auto& w : b) w = rng();
+    arena.Push(a.data(), b.data(), a.size());
+    expected += ReferenceAndPopcount(a, b);
+  }
+  EXPECT_EQ(AndPopcountPairs(arena), expected);
+  // Clear keeps the capacity but forgets the pairs.
+  arena.Clear();
+  EXPECT_TRUE(arena.Empty());
+  EXPECT_EQ(arena.pair_count(), 0u);
+  EXPECT_EQ(AndPopcountPairs(arena), 0u);
+}
+
+TEST(PairArena, EmptyArenaCountsZeroOnEveryBackend) {
+  const PairArena arena;
+  EXPECT_TRUE(arena.Empty());
+  for (const KernelBackend backend : SupportedKernelBackends()) {
+    EXPECT_EQ(AndPopcountPairsBackend(arena, backend), 0u)
+        << ToString(backend);
+  }
+}
+
+TEST(PairArena, UnsupportedBackendThrows) {
+  PairArena arena;
+  const std::uint64_t word = 0xF0F0F0F0F0F0F0F0ULL;
+  arena.Push(&word, &word, 1);
+  for (const KernelBackend backend : AllKernelBackends()) {
+    if (BackendSupported(backend)) continue;
+    EXPECT_THROW((void)AndPopcountPairsBackend(arena, backend),
+                 std::invalid_argument)
+        << ToString(backend);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// kSwar64x4 is formally the no-POPCNT fallback: the code has always
+// claimed auto-dispatch never picks it over scalar-with-POPCNT; this
+// pins the claim down (the schema-v1 seed measured it at 0.39–0.45x
+// scalar, so selecting it would be a real end-to-end regression).
+
+TEST(KernelBackendDispatch, AutoNeverPicksSwarWhenScalarHasPopcnt) {
+  if (ScalarHasPopcntInstruction()) {
+    EXPECT_NE(BestSupportedBackend(), KernelBackend::kSwar64x4);
+    BackendGuard guard;
+    ::unsetenv("TCIM_KERNEL");
+    EXPECT_NE(RefreshActiveBackendFromEnv(), KernelBackend::kSwar64x4);
+    ::setenv("TCIM_KERNEL", "auto", 1);
+    EXPECT_NE(RefreshActiveBackendFromEnv(), KernelBackend::kSwar64x4);
+  } else {
+    // Without a hardware popcount, the SWAR unroll is exactly what
+    // auto-dispatch should fall back to when no SIMD backend runs.
+    bool any_simd = false;
+    for (const KernelBackend backend :
+         {KernelBackend::kAvx2, KernelBackend::kAvx512Vpopcnt,
+          KernelBackend::kNeon}) {
+      any_simd = any_simd || BackendSupported(backend);
+    }
+    if (!any_simd) {
+      EXPECT_EQ(BestSupportedBackend(), KernelBackend::kSwar64x4);
+    }
+  }
+}
+
 TEST_P(BackendParityTest, SpanApiRoutesThroughForcedBackend) {
   // AndPopcount/PopcountWords at kBuiltin must agree with the scalar
   // reference under every forced backend (dispatch divergence check).

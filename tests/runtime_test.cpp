@@ -199,6 +199,41 @@ TEST(BankPoolTest, MoreBanksThanVerticesStillExact) {
   EXPECT_EQ(pool.Count(g).triangles, 20u);
 }
 
+TEST(BankPoolTest, HostCountMatchesSimulatedCountEverywhere) {
+  // HostCount runs the batched host Eq. (5) kernel per shard instead
+  // of the functional array; the two pipelines must agree exactly on
+  // every family x bank count x strategy combination.
+  for (const FamilyCase& family : kFamilies) {
+    const Graph g = family.make(21);
+    const std::uint64_t expected =
+        core::TcimAccelerator{SmallConfig()}.Run(g).triangles;
+    for (const std::uint32_t banks : {1u, 3u}) {
+      for (const PartitionStrategy strategy :
+           {PartitionStrategy::kContiguous,
+            PartitionStrategy::kDegreeBalanced}) {
+        const BankPool pool{PoolConfig(banks, strategy)};
+        EXPECT_EQ(pool.HostCount(g), expected)
+            << family.name << " banks=" << banks;
+        EXPECT_EQ(pool.Count(g).triangles, expected)
+            << family.name << " banks=" << banks;
+      }
+    }
+  }
+}
+
+TEST(BankPoolTest, HostCountExactUnderFullSymmetricOrientation) {
+  // Raw shard bitcounts must be summed before the /6 divide: a single
+  // kFullSymmetric shard's bitcount need not be divisible by 6.
+  core::TcimConfig config = SmallConfig();
+  config.orientation = Orientation::kFullSymmetric;
+  BankPoolConfig pool_config;
+  pool_config.num_banks = 3;
+  pool_config.accelerator = config;
+  const BankPool pool{pool_config};
+  const Graph g = graph::HolmeKim(300, 2200, 0.7, 5);
+  EXPECT_EQ(pool.HostCount(g), core::CountTrianglesDense(g));
+}
+
 TEST(BankPoolTest, FewerThreadsThanBanksStillExact) {
   BankPoolConfig config = PoolConfig(6, PartitionStrategy::kDegreeBalanced);
   config.num_threads = 2;

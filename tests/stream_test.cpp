@@ -344,6 +344,32 @@ TEST(IncrementalCounter, SingleInsertClosesWedges) {
   EXPECT_EQ(r.triangles, RecountTruth(counter));
 }
 
+TEST(IncrementalCounter, BatchedWedgeKernelSkipsHardwareModel) {
+  // The 4-way wedge kernel gathers all four store combinations into
+  // one batched dispatch at the default kBuiltin — never feeding the
+  // LUT8 hardware-model counter — while a kLut8-configured counter
+  // still routes through the exact per-word model and stays exact.
+  stream::StreamConfig config;
+  config.recount_fraction = 1.0;
+  stream::IncrementalCounter fast(SeedGraph(), config);
+  const std::uint64_t before = bit::Lut8Invocations();
+  EdgeDelta delta;
+  delta.Insert(0, 3);
+  EXPECT_EQ(fast.ApplyBatch(delta).delta, 2);
+  EXPECT_EQ(bit::Lut8Invocations(), before)
+      << "kBuiltin wedge kernel touched the LUT8 hardware model";
+
+  config.popcount = bit::PopcountKind::kLut8;
+  stream::IncrementalCounter modeled(SeedGraph(), config);
+  EXPECT_GT(bit::Lut8Invocations(), before);  // init recount fed it
+  const std::uint64_t mid = bit::Lut8Invocations();
+  const stream::BatchResult r = modeled.ApplyBatch(delta);
+  EXPECT_EQ(r.delta, 2);
+  EXPECT_EQ(r.triangles, 4u);
+  EXPECT_GT(bit::Lut8Invocations(), mid);
+  EXPECT_EQ(r.triangles, RecountTruth(modeled));
+}
+
 TEST(IncrementalCounter, SingleDeleteOpensWedges) {
   stream::IncrementalCounter counter(SeedGraph());
   EdgeDelta delta;

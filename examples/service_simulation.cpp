@@ -1,29 +1,41 @@
-// service_simulation — replay a Poisson job-arrival trace against the
-// multi-bank runtime (runtime::Scheduler), the "heavy concurrent
-// traffic" scenario of the ROADMAP north star.
+// service_simulation — a snapshot-serving front end over the
+// multi-bank runtime: tenant threads fire epoch-pinned triangle
+// queries at a live graph while a writer streams edge updates through
+// the scheduler, the "heavy concurrent traffic" scenario of the
+// ROADMAP north star (docs/SERVING.md).
 //
-// A deterministic trace of counting jobs (mixed graph families, sizes
-// drawn from a small catalog) arrives with exponential inter-arrival
-// times; each job is submitted from the arrival thread at its arrival
-// instant and runs on a shared bank pool. At the end the per-job table
-// reports queue wait vs run time, and the summary gives throughput and
-// tail behaviour.
+// What it exercises:
+//  * concurrent query + update lanes — readers pin immutable COW
+//    epochs and never block the writer (or vice versa);
+//  * per-tenant priorities — tenant 0 is urgent under --policy
+//    priority, visible in its latency percentiles;
+//  * request coalescing — queued queries for the session collapse into
+//    shared AndPopcountRows passes (the Coal column);
+//  * admission control — with --max-pending the scheduler sheds load
+//    as failed handles instead of queueing without bound;
+//  * exactness — every answered query is checked against a sequential
+//    replay oracle at the epoch it pinned, and the final state against
+//    the CPU baseline. Any mismatch exits 1.
 //
-//   service_simulation --jobs 24 --rate 40 --banks 4 --policy priority
-//
-// Every fifth job is tagged high-priority so the priority policy is
-// visible in the dispatch order column.
-#include <chrono>
-#include <cmath>
+//   service_simulation --tenants 3 --queries 20 --batches 15 \
+//                      --banks 4 --policy priority --max-pending 64
+#include <cstddef>
 #include <cstdint>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "baseline/cpu_tc.h"
 #include "graph/generators.h"
+#include "runtime/aggregate.h"
 #include "runtime/scheduler.h"
+#include "runtime/stream_session.h"
+#include "stream/edge_delta.h"
+#include "stream/incremental_counter.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -33,11 +45,12 @@ namespace {
 using namespace tcim;
 
 struct Options {
-  std::uint32_t jobs = 24;
-  double rate_hz = 40.0;  // Poisson arrival rate
+  std::uint32_t tenants = 3;
+  std::uint32_t queries = 20;  // per tenant
+  std::uint32_t batches = 15;  // writer update stream
   std::uint32_t banks = 4;
-  std::uint32_t threads = 0;
-  std::string policy = "fifo";
+  std::uint64_t max_pending = 0;  // 0 = unlimited
+  std::string policy = "priority";
   std::uint64_t seed = 7;
 };
 
@@ -48,52 +61,40 @@ bool Parse(int argc, char** argv, Options& opt) {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     const char* v = nullptr;
-    if (arg == "--jobs" && (v = next())) {
-      opt.jobs = static_cast<std::uint32_t>(std::stoul(v));
-    } else if (arg == "--rate" && (v = next())) {
-      opt.rate_hz = std::stod(v);
+    if (arg == "--tenants" && (v = next())) {
+      opt.tenants = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (arg == "--queries" && (v = next())) {
+      opt.queries = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (arg == "--batches" && (v = next())) {
+      opt.batches = static_cast<std::uint32_t>(std::stoul(v));
     } else if (arg == "--banks" && (v = next())) {
       opt.banks = static_cast<std::uint32_t>(std::stoul(v));
-    } else if (arg == "--threads" && (v = next())) {
-      opt.threads = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (arg == "--max-pending" && (v = next())) {
+      opt.max_pending = std::stoull(v);
     } else if (arg == "--policy" && (v = next())) {
       opt.policy = v;
     } else if (arg == "--seed" && (v = next())) {
       opt.seed = std::stoull(v);
     } else {
-      std::cout << "usage: service_simulation [--jobs N] [--rate HZ] "
-                   "[--banks N] [--threads N] [--policy fifo|priority] "
-                   "[--seed N]\n";
+      std::cout << "usage: service_simulation [--tenants N] [--queries N] "
+                   "[--batches N] [--banks N] [--max-pending N] "
+                   "[--policy fifo|priority] [--seed N]\n";
       return false;
     }
   }
   return true;
 }
 
-/// Small workload catalog: name + generator, sized to keep a full
-/// default run within a few seconds.
-struct Workload {
-  const char* name;
-  graph::Graph (*make)(std::uint64_t seed);
-};
-
-const Workload kCatalog[] = {
-    {"social-s",
-     [](std::uint64_t s) { return graph::HolmeKim(300, 2200, 0.8, s); }},
-    {"social-m",
-     [](std::uint64_t s) { return graph::HolmeKim(900, 7000, 0.8, s); }},
-    {"rmat-m",
-     [](std::uint64_t s) {
-       return graph::Rmat(1024, 8000, graph::RmatParams{}, s);
-     }},
-    {"road-m",
-     [](std::uint64_t s) {
-       return graph::GeometricRoad(2500, graph::RoadParams{}, s);
-     }},
-    {"community-m",
-     [](std::uint64_t s) {
-       return graph::CommunityCliques(800, 6000, graph::CommunityParams{}, s);
-     }},
+/// Per-tenant traffic accounting, written by the tenant's own thread
+/// and read after the join.
+struct TenantStats {
+  int priority = 0;
+  std::uint64_t issued = 0;
+  std::uint64_t answered = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t coalesced = 0;
+  runtime::LatencyRecorder latency;
+  std::vector<runtime::JobOutcome> outcomes;
 };
 
 }  // namespace
@@ -102,12 +103,16 @@ int main(int argc, char** argv) {
   Options opt;
   if (!Parse(argc, argv, opt)) return 2;
 
+  // The live graph: a clustered social-network stand-in.
+  const graph::Graph seed_graph = graph::HolmeKim(400, 3000, 0.8, opt.seed);
+  auto session = std::make_shared<runtime::StreamSession>(seed_graph);
+
   runtime::SchedulerConfig config;
-  config.policy = opt.policy == "priority"
-                      ? runtime::SchedulingPolicy::kPriority
-                      : runtime::SchedulingPolicy::kFifo;
+  config.policy = opt.policy == "fifo" ? runtime::SchedulingPolicy::kFifo
+                                       : runtime::SchedulingPolicy::kPriority;
+  config.dispatch_threads = 2;  // one lane's job may overlap the other's
+  config.max_pending = opt.max_pending;
   config.pool.num_banks = opt.banks;
-  config.pool.num_threads = opt.threads;
   config.pool.accelerator.array.capacity_bytes = 1ULL << 20;
   std::optional<runtime::Scheduler> scheduler;
   try {
@@ -117,73 +122,129 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  util::PrintBanner(std::cout, "Multi-bank service simulation");
-  std::cout << "  " << opt.jobs << " jobs, Poisson rate " << opt.rate_hz
-            << " /s, " << opt.banks << " banks, policy " << opt.policy
-            << ", seed " << opt.seed << "\n";
+  util::PrintBanner(std::cout, "Snapshot-serving simulation");
+  std::cout << "  " << opt.tenants << " tenants x " << opt.queries
+            << " queries vs " << opt.batches << " update batches, "
+            << opt.banks << " banks, policy " << opt.policy
+            << ", max_pending " << opt.max_pending << ", seed " << opt.seed
+            << "\n  seed graph: " << seed_graph.num_vertices()
+            << " vertices, " << seed_graph.num_edges() << " edges, "
+            << session->triangles() << " triangles\n";
 
-  util::Xoshiro256 rng{opt.seed};
-  struct Submitted {
-    runtime::JobHandle handle;
-    const Workload* workload;
-    double arrival_s;
-    int priority;
-  };
-  std::vector<Submitted> jobs;
-  jobs.reserve(opt.jobs);
-
-  // Arrival loop: sleep out each exponential gap, then submit. The
-  // submission thread is the "front door"; dispatch happens on the
-  // scheduler's own threads.
-  util::Timer wall;
-  double arrival_s = 0.0;
-  for (std::uint32_t j = 0; j < opt.jobs; ++j) {
-    arrival_s += -std::log(1.0 - rng.UniformDouble()) / opt.rate_hz;
-    const double wait_s = arrival_s - wall.ElapsedSeconds();
-    if (wait_s > 0) {
-      std::this_thread::sleep_for(std::chrono::duration<double>(wait_s));
+  // Pre-generate the update stream so the oracle can replay it later.
+  util::Xoshiro256 delta_rng{opt.seed ^ 0xD317A};
+  std::vector<stream::EdgeDelta> deltas(opt.batches);
+  for (stream::EdgeDelta& delta : deltas) {
+    for (int k = 0; k < 12; ++k) {
+      const auto u = static_cast<graph::VertexId>(delta_rng() % 410);
+      const auto v = static_cast<graph::VertexId>(delta_rng() % 410);
+      if (delta_rng() % 3 == 0) {
+        delta.Erase(u, v);
+      } else {
+        delta.Insert(u, v);
+      }
     }
-    const Workload& workload = kCatalog[rng.UniformBelow(std::size(kCatalog))];
-    runtime::JobOptions options;
-    options.priority = (j % 5 == 0) ? 10 : 0;  // every 5th job is urgent
-    options.tag = workload.name;
-    jobs.push_back(Submitted{scheduler->Submit(workload.make(rng()), options),
-                             &workload, arrival_s, options.priority});
   }
 
-  // Drain and report.
-  util::TablePrinter t({"Job", "Workload", "Prio", "Arrival", "Queue wait",
-                        "Run", "Dispatch#", "Triangles", "State"});
-  double total_queue = 0.0;
-  double max_queue = 0.0;
-  std::uint64_t done = 0;
-  for (std::size_t j = 0; j < jobs.size(); ++j) {
-    const runtime::JobOutcome outcome = jobs[j].handle.Wait();
-    total_queue += outcome.queue_seconds;
-    max_queue = std::max(max_queue, outcome.queue_seconds);
-    if (outcome.state == runtime::JobState::kDone) ++done;
-    t.AddRow({std::to_string(j), jobs[j].workload->name,
-              std::to_string(jobs[j].priority),
-              util::FormatSeconds(jobs[j].arrival_s),
-              util::FormatSeconds(outcome.queue_seconds),
-              util::FormatSeconds(outcome.run_seconds),
-              std::to_string(outcome.start_order),
-              std::to_string(outcome.result.triangles),
-              runtime::ToString(outcome.state)});
+  // Writer thread: streams every batch through the update lane.
+  std::vector<runtime::JobHandle> updates;
+  updates.reserve(opt.batches);
+  std::thread writer([&] {
+    for (const stream::EdgeDelta& delta : deltas) {
+      runtime::JobOptions options;
+      options.tag = "ingest";
+      updates.push_back(scheduler->SubmitUpdate(session, delta, options));
+    }
+  });
+
+  // Tenant threads: tenant 0 is the urgent one under priority policy.
+  std::vector<TenantStats> tenants(opt.tenants);
+  std::vector<std::thread> tenant_threads;
+  tenant_threads.reserve(opt.tenants);
+  for (std::uint32_t t = 0; t < opt.tenants; ++t) {
+    tenants[t].priority = t == 0 ? 10 : 0;
+    tenants[t].outcomes.reserve(opt.queries);
+    tenant_threads.emplace_back([&, t] {
+      TenantStats& stats = tenants[t];
+      for (std::uint32_t q = 0; q < opt.queries; ++q) {
+        runtime::JobOptions options;
+        options.priority = stats.priority;
+        options.tag = "tenant-" + std::to_string(t);
+        util::Timer timer;
+        const runtime::JobHandle handle =
+            scheduler->SubmitQuery(session, options);
+        const runtime::JobOutcome outcome = handle.Wait();
+        ++stats.issued;
+        if (outcome.state == runtime::JobState::kDone) {
+          stats.latency.Record(timer.ElapsedSeconds());
+          ++stats.answered;
+          if (outcome.query.coalesced) ++stats.coalesced;
+          stats.outcomes.push_back(outcome);
+        } else {
+          ++stats.rejected;  // admission shed or shutdown race
+        }
+      }
+    });
   }
-  const double makespan = wall.ElapsedSeconds();
-  if (jobs.empty()) {
-    std::cout << "  no jobs submitted\n";
-    return 0;
+
+  writer.join();
+  for (std::thread& t : tenant_threads) t.join();
+  for (const runtime::JobHandle& h : updates) (void)h.Wait();
+  scheduler->Shutdown();
+
+  // Sequential replay oracle: epoch e -> exact triangle total. Only
+  // admitted updates publish epochs (under --max-pending the writer
+  // can be shed as well), so replay exactly the batches that ran, in
+  // submission order.
+  std::map<std::uint64_t, std::uint64_t> oracle;
+  std::uint64_t shed_updates = 0;
+  {
+    stream::IncrementalCounter replay(seed_graph);
+    oracle[0] = replay.triangles();
+    for (std::size_t b = 0; b < updates.size(); ++b) {
+      const runtime::JobOutcome outcome = updates[b].Wait();
+      if (outcome.state != runtime::JobState::kDone) {
+        ++shed_updates;
+        continue;
+      }
+      oracle[outcome.epoch] = replay.ApplyBatch(deltas[b]).triangles;
+    }
   }
-  t.Print(std::cout);
-  std::cout << "\n  " << done << "/" << opt.jobs << " done in "
-            << util::FormatSeconds(makespan) << " ("
-            << util::TablePrinter::Fixed(static_cast<double>(done) / makespan,
-                                         1)
-            << " jobs/s); mean queue wait "
-            << util::FormatSeconds(total_queue /
-                                   static_cast<double>(jobs.size()))
-            << ", max " << util::FormatSeconds(max_queue) << "\n";
-  return done == opt.jobs ? 0 : 1;
+
+  std::uint64_t mismatches = 0;
+  util::TablePrinter table({"Tenant", "Prio", "Issued", "Answered", "Shed",
+                            "Coal", "p50", "p99", "Max"});
+  for (std::uint32_t t = 0; t < opt.tenants; ++t) {
+    const TenantStats& stats = tenants[t];
+    for (const runtime::JobOutcome& outcome : stats.outcomes) {
+      const auto it = oracle.find(outcome.query.epoch);
+      if (it == oracle.end() || outcome.query.triangles != it->second) {
+        ++mismatches;
+      }
+    }
+    table.AddRow({std::to_string(t), std::to_string(stats.priority),
+                  std::to_string(stats.issued),
+                  std::to_string(stats.answered),
+                  std::to_string(stats.rejected),
+                  std::to_string(stats.coalesced),
+                  util::FormatSeconds(stats.latency.Percentile(50.0)),
+                  util::FormatSeconds(stats.latency.Percentile(99.0)),
+                  util::FormatSeconds(stats.latency.max())});
+  }
+  table.Print(std::cout);
+
+  const runtime::EpochManager& epochs = session->epochs();
+  std::cout << "\n  epochs: " << epochs.published() << " published, "
+            << epochs.live_epochs() << " live, " << epochs.retired()
+            << " retired; scheduler: " << scheduler->coalesced()
+            << " coalesced, " << scheduler->rejected() << " rejected ("
+            << shed_updates << " update batches shed)\n";
+
+  const bool final_ok =
+      baseline::CountTrianglesReference(session->Snapshot()) ==
+      session->triangles();
+  std::cout << "  verification: " << mismatches
+            << " query mismatches vs sequential replay; final state "
+            << (final_ok ? "exact" : "WRONG") << " vs CPU baseline\n";
+  return (mismatches == 0 && final_ok) ? 0 : 1;
 }

@@ -300,14 +300,17 @@ int main(int argc, char** argv) {
     runtime::StreamSession session(g, stream_config);
     const std::uint64_t initial = session.triangles();
 
-    util::TablePrinter batch_table({"Batch", "Ops", "+E", "-E", "ΔT",
+    util::TablePrinter batch_table({"Batch", "Epoch", "Ops", "+E", "-E", "ΔT",
                                     "Triangles", "Path", "AND ops",
                                     "Latency"});
     for (std::size_t b = 0; b < batches.size(); ++b) {
-      const stream::BatchResult r = session.Apply(batches[b]);
+      const runtime::StreamSession::AppliedBatch applied =
+          session.Apply(batches[b]);
+      const stream::BatchResult& r = applied.batch;
       if (!opt.json) {
         batch_table.AddRow(
-            {std::to_string(b), std::to_string(r.stats.ops_submitted),
+            {std::to_string(b), std::to_string(applied.epoch),
+             std::to_string(r.stats.ops_submitted),
              std::to_string(r.stats.applied.inserted),
              std::to_string(r.stats.applied.deleted),
              std::to_string(r.delta),

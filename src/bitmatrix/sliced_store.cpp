@@ -2,8 +2,45 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace tcim::bit {
+
+namespace {
+
+// Slab index / local vector index of a global vector id.
+constexpr std::size_t SlabOf(std::uint32_t v) noexcept {
+  return static_cast<std::size_t>(v) >> SlicedStore::kSlabVectorShift;
+}
+constexpr std::uint32_t LocalOf(std::uint32_t v) noexcept {
+  return v & (SlicedStore::kSlabVectors - 1);
+}
+constexpr std::size_t SlabCountFor(std::uint32_t num_vectors) noexcept {
+  return (static_cast<std::size_t>(num_vectors) + SlicedStore::kSlabVectors -
+          1) >>
+         SlicedStore::kSlabVectorShift;
+}
+
+}  // namespace
+
+std::shared_ptr<SlicedStore::Slab> SlicedStore::MakeEmptySlab() {
+  auto slab = std::make_shared<Slab>();
+  slab->offsets.assign(kSlabVectors + 1, 0);
+  return slab;
+}
+
+SlicedStore::Slab& SlicedStore::WritableSlab(std::size_t s,
+                                             PatchStats& stats) {
+  std::shared_ptr<Slab>& slot = slabs_[s];
+  // use_count() is racy in general but exact here: the thread-safety
+  // contract serializes ApplyEdits against copy construction of this
+  // object, and already-published copies only ever *drop* references.
+  if (slot.use_count() != 1) {
+    slot = std::make_shared<Slab>(*slot);
+    ++stats.slabs_cow_cloned;
+  }
+  return *slot;
+}
 
 SlicedStore SlicedStore::FromCsr(std::uint32_t num_vectors,
                                  std::uint64_t universe,
@@ -28,10 +65,9 @@ SlicedStore SlicedStore::FromCsr(std::uint32_t num_vectors,
   store.words_per_slice_ = (slice_bits + 63) / 64;
   store.slices_per_vector_ =
       universe == 0 ? 0 : (universe + slice_bits - 1) / slice_bits;
-  store.offsets_.assign(static_cast<std::size_t>(num_vectors) + 1, 0);
 
-  // Pass 1: count valid slices per vector.
-  std::uint64_t total_valid = 0;
+  // Pass 1: validate and count valid slices per vector.
+  std::vector<std::uint64_t> valid_per_vector(num_vectors, 0);
   for (std::uint32_t v = 0; v < num_vectors; ++v) {
     if (offsets[v] > offsets[v + 1]) {
       throw std::invalid_argument("SlicedStore: offsets not monotone");
@@ -50,44 +86,67 @@ SlicedStore SlicedStore::FromCsr(std::uint32_t num_vectors,
       prev_pos = pos;
       const std::uint64_t s = pos / slice_bits;
       if (s != prev_slice) {
-        ++total_valid;
+        ++valid_per_vector[v];
         prev_slice = s;
       }
     }
-    store.offsets_[v + 1] = total_valid;
   }
 
-  // Pass 2: fill indices and packed words.
-  store.indices_.assign(total_valid, 0);
-  store.words_.assign(total_valid * store.words_per_slice_, 0);
-  for (std::uint32_t v = 0; v < num_vectors; ++v) {
-    std::uint64_t cursor = store.offsets_[v];
-    std::uint64_t prev_slice = ~0ULL;
-    for (std::uint64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
-      const std::uint64_t pos = positions[e];
-      const std::uint64_t s = pos / slice_bits;
-      if (s != prev_slice) {
-        store.indices_[cursor] = static_cast<std::uint32_t>(s);
-        prev_slice = s;
-        ++cursor;
-      }
-      const std::uint64_t in_slice = pos % slice_bits;
-      const std::uint64_t word_base = (cursor - 1) * store.words_per_slice_;
-      store.words_[word_base + in_slice / 64] |= 1ULL << (in_slice % 64);
+  // Pass 2: materialize one slab per kSlabVectors vectors.
+  const std::size_t num_slabs = SlabCountFor(num_vectors);
+  store.slabs_.reserve(num_slabs);
+  store.slab_base_.assign(num_slabs + 1, 0);
+  for (std::size_t s = 0; s < num_slabs; ++s) {
+    auto slab = MakeEmptySlab();
+    const std::uint32_t base_v =
+        static_cast<std::uint32_t>(s << kSlabVectorShift);
+    std::uint64_t slab_valid = 0;
+    for (std::uint32_t lv = 0; lv < kSlabVectors; ++lv) {
+      const std::uint32_t v = base_v + lv;
+      if (v < num_vectors) slab_valid += valid_per_vector[v];
+      slab->offsets[lv + 1] = slab_valid;
     }
+    slab->indices.assign(slab_valid, 0);
+    slab->words.assign(slab_valid * store.words_per_slice_, 0);
+    for (std::uint32_t lv = 0; lv < kSlabVectors; ++lv) {
+      const std::uint32_t v = base_v + lv;
+      if (v >= num_vectors) break;
+      std::uint64_t cursor = slab->offsets[lv];
+      std::uint64_t prev_slice = ~0ULL;
+      for (std::uint64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+        const std::uint64_t pos = positions[e];
+        const std::uint64_t sl = pos / slice_bits;
+        if (sl != prev_slice) {
+          slab->indices[cursor] = static_cast<std::uint32_t>(sl);
+          prev_slice = sl;
+          ++cursor;
+        }
+        const std::uint64_t in_slice = pos % slice_bits;
+        const std::uint64_t word_base = (cursor - 1) * store.words_per_slice_;
+        slab->words[word_base + in_slice / 64] |= 1ULL << (in_slice % 64);
+      }
+    }
+    store.slab_base_[s + 1] = store.slab_base_[s] + slab_valid;
+    store.slabs_.push_back(std::move(slab));
   }
   return store;
 }
 
 std::uint64_t SlicedStore::set_bit_count() const noexcept {
-  return PopcountWords(words_, PopcountKind::kBuiltin);
+  std::uint64_t total = 0;
+  for (const std::shared_ptr<Slab>& slab : slabs_) {
+    total += PopcountWords(slab->words, PopcountKind::kBuiltin);
+  }
+  return total;
 }
 
 std::size_t SlicedStore::SliceCount(std::uint32_t v) const {
   if (v >= num_vectors_) {
     throw std::out_of_range("SlicedStore::SliceCount: vector out of range");
   }
-  return static_cast<std::size_t>(offsets_[v + 1] - offsets_[v]);
+  const Slab& slab = *slabs_[SlabOf(v)];
+  const std::uint32_t lv = LocalOf(v);
+  return static_cast<std::size_t>(slab.offsets[lv + 1] - slab.offsets[lv]);
 }
 
 std::span<const std::uint32_t> SlicedStore::SliceIndices(
@@ -95,14 +154,16 @@ std::span<const std::uint32_t> SlicedStore::SliceIndices(
   if (v >= num_vectors_) {
     throw std::out_of_range("SlicedStore::SliceIndices: vector out of range");
   }
-  return {indices_.data() + offsets_[v],
-          static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+  return Slices(v).indices;
 }
 
 std::span<const std::uint64_t> SlicedStore::SliceWords(
     std::uint32_t v, std::size_t ordinal) const {
-  const std::uint64_t global = GlobalOrdinal(v, ordinal);
-  return {words_.data() + global * words_per_slice_, words_per_slice_};
+  const VectorSlices vs = Slices(v);
+  if (ordinal >= vs.indices.size()) {
+    throw std::out_of_range("SlicedStore::SliceWords: ordinal out of range");
+  }
+  return {vs.words + ordinal * words_per_slice_, words_per_slice_};
 }
 
 std::uint64_t SlicedStore::GlobalOrdinal(std::uint32_t v,
@@ -110,11 +171,14 @@ std::uint64_t SlicedStore::GlobalOrdinal(std::uint32_t v,
   if (v >= num_vectors_) {
     throw std::out_of_range("SlicedStore::GlobalOrdinal: vector out of range");
   }
-  const std::uint64_t global = offsets_[v] + ordinal;
-  if (global >= offsets_[v + 1]) {
+  const std::size_t s = SlabOf(v);
+  const Slab& slab = *slabs_[s];
+  const std::uint32_t lv = LocalOf(v);
+  const std::uint64_t local = slab.offsets[lv] + ordinal;
+  if (local >= slab.offsets[lv + 1]) {
     throw std::out_of_range("SlicedStore::GlobalOrdinal: ordinal out of range");
   }
-  return global;
+  return slab_base_[s] + local;
 }
 
 bool SlicedStore::TestBit(std::uint32_t v, std::uint64_t position) const {
@@ -122,14 +186,15 @@ bool SlicedStore::TestBit(std::uint32_t v, std::uint64_t position) const {
     throw std::out_of_range("SlicedStore::TestBit: vector out of range");
   }
   if (position >= universe_) return false;
-  const std::uint32_t slice = static_cast<std::uint32_t>(position / slice_bits_);
-  const std::span<const std::uint32_t> indices = SliceIndices(v);
-  const auto it = std::lower_bound(indices.begin(), indices.end(), slice);
-  if (it == indices.end() || *it != slice) return false;
-  const std::uint64_t global =
-      offsets_[v] + static_cast<std::uint64_t>(it - indices.begin());
+  const std::uint32_t slice =
+      static_cast<std::uint32_t>(position / slice_bits_);
+  const VectorSlices vs = Slices(v);
+  const auto it = std::lower_bound(vs.indices.begin(), vs.indices.end(), slice);
+  if (it == vs.indices.end() || *it != slice) return false;
+  const std::uint64_t k =
+      static_cast<std::uint64_t>(it - vs.indices.begin());
   const std::uint64_t in_slice = position % slice_bits_;
-  return (words_[global * words_per_slice_ + in_slice / 64] >>
+  return (vs.words[k * words_per_slice_ + in_slice / 64] >>
           (in_slice % 64)) &
          1ULL;
 }
@@ -165,34 +230,37 @@ PatchStats SlicedStore::ApplyEdits(std::span<const SliceEdit> edits,
     }
   }
 
-  // Classification pass: does any edit force a structural change?
-  // (slice becoming valid or empty). Also validates flip-ness.
-  bool structural = grows;
+  // Classification pass — read-only, so an invalid batch throws before
+  // the store (or any published copy's view of it) changes. Per slab,
+  // decide whether its edits force a structural rebuild (a slice
+  // becoming valid or empty) or stay pure in-place word flips; also
+  // validates that every edit is a real flip.
+  const std::size_t new_slab_count = SlabCountFor(new_num_vectors);
+  std::vector<unsigned char> structural_slab(new_slab_count, 0);
   std::vector<std::uint64_t> scratch(words_per_slice_);
   std::size_t e = 0;
   while (e < sorted.size()) {
     const std::uint32_t v = sorted[e].vector;
     const std::uint32_t slice =
         static_cast<std::uint32_t>(sorted[e].position / slice_bits_);
-    // Locate the slice among v's valid slices (v may be a new vector).
     bool valid = false;
-    std::uint64_t global = 0;
+    std::uint64_t k = 0;
+    VectorSlices vs{};
     if (v < num_vectors_) {
-      const std::span<const std::uint32_t> indices = SliceIndices(v);
-      const auto it = std::lower_bound(indices.begin(), indices.end(), slice);
-      if (it != indices.end() && *it == slice) {
+      vs = Slices(v);
+      const auto it =
+          std::lower_bound(vs.indices.begin(), vs.indices.end(), slice);
+      if (it != vs.indices.end() && *it == slice) {
         valid = true;
-        global = offsets_[v] + static_cast<std::uint64_t>(it - indices.begin());
+        k = static_cast<std::uint64_t>(it - vs.indices.begin());
       }
     }
     if (valid) {
-      std::copy_n(words_.begin() +
-                      static_cast<std::ptrdiff_t>(global * words_per_slice_),
-                  words_per_slice_, scratch.begin());
+      std::copy_n(vs.words + k * words_per_slice_, words_per_slice_,
+                  scratch.begin());
     } else {
       std::fill(scratch.begin(), scratch.end(), 0);
     }
-    // Apply this slice's edit group to the scratch copy.
     for (; e < sorted.size() && sorted[e].vector == v &&
            sorted[e].position / slice_bits_ == slice;
          ++e) {
@@ -209,104 +277,128 @@ PatchStats SlicedStore::ApplyEdits(std::span<const SliceEdit> edits,
     const bool now_empty =
         std::all_of(scratch.begin(), scratch.end(),
                     [](std::uint64_t w) { return w == 0; });
-    if (valid && !now_empty) {
-      // In-place candidate; count the flips now, patch later.
-    } else if (valid && now_empty) {
-      structural = true;
-      ++stats.slices_removed;
-    } else {  // !valid: at least one set edit landed in a fresh slice
-      structural = true;
-      ++stats.slices_inserted;
+    if (!valid || now_empty) {
+      structural_slab[SlabOf(v)] = 1;
     }
   }
 
-  if (!structural) {
-    // Fast path: every edit flips a bit inside a slice that stays
-    // valid — patch the words directly, no reallocation.
-    for (const SliceEdit& edit : sorted) {
-      const std::uint32_t slice =
-          static_cast<std::uint32_t>(edit.position / slice_bits_);
-      const std::span<const std::uint32_t> indices = SliceIndices(edit.vector);
-      const auto it = std::lower_bound(indices.begin(), indices.end(), slice);
-      const std::uint64_t global =
-          offsets_[edit.vector] +
-          static_cast<std::uint64_t>(it - indices.begin());
-      const std::uint64_t in_slice = edit.position % slice_bits_;
-      words_[global * words_per_slice_ + in_slice / 64] ^=
-          1ULL << (in_slice % 64);
-      ++stats.bits_patched;
-    }
-    return stats;
+  // Mutation phase. Growth first: new vectors start empty, and thanks
+  // to the trailing-repeat offsets invariant the existing final slab
+  // absorbs them without a rebuild; fresh slabs are appended empty.
+  if (grows) {
+    num_vectors_ = new_num_vectors;
+    universe_ = new_universe;
+    slices_per_vector_ =
+        new_universe == 0 ? 0 : (new_universe + slice_bits_ - 1) / slice_bits_;
+    while (slabs_.size() < new_slab_count) slabs_.push_back(MakeEmptySlab());
   }
 
-  // Structural path: rebuild the flat arrays in one merge pass of the
-  // old slices and the edit groups, per vector.
-  stats.rebuilt = true;
-  stats.slices_inserted = 0;  // recounted below
-  stats.slices_removed = 0;
-  std::vector<std::uint64_t> new_offsets(
-      static_cast<std::size_t>(new_num_vectors) + 1, 0);
-  std::vector<std::uint32_t> new_indices;
-  std::vector<std::uint64_t> new_words;
-  new_indices.reserve(indices_.size() + sorted.size());
-  new_words.reserve(words_.size() + sorted.size() * words_per_slice_);
-
+  // Walk the (vector-sorted) edits one slab group at a time.
   e = 0;
-  for (std::uint32_t v = 0; v < new_num_vectors; ++v) {
-    const std::uint64_t old_begin = v < num_vectors_ ? offsets_[v] : 0;
-    const std::uint64_t old_end = v < num_vectors_ ? offsets_[v + 1] : 0;
-    std::uint64_t o = old_begin;
-    // Merge old slices of v with edit groups of v in slice order.
-    while (o < old_end ||
-           (e < sorted.size() && sorted[e].vector == v)) {
-      const std::uint32_t old_slice =
-          o < old_end ? indices_[o] : ~std::uint32_t{0};
-      const std::uint32_t edit_slice =
-          (e < sorted.size() && sorted[e].vector == v)
-              ? static_cast<std::uint32_t>(sorted[e].position / slice_bits_)
-              : ~std::uint32_t{0};
-      const std::uint32_t slice = std::min(old_slice, edit_slice);
-      if (old_slice == slice) {
-        std::copy_n(words_.begin() +
-                        static_cast<std::ptrdiff_t>(o * words_per_slice_),
-                    words_per_slice_, scratch.begin());
-        ++o;
-      } else {
-        std::fill(scratch.begin(), scratch.end(), 0);
-      }
-      std::uint64_t slice_edits = 0;
-      for (; e < sorted.size() && sorted[e].vector == v &&
-             sorted[e].position / slice_bits_ == slice;
-           ++e) {
-        const std::uint64_t in_slice = sorted[e].position % slice_bits_;
-        scratch[in_slice / 64] ^= 1ULL << (in_slice % 64);
-        ++slice_edits;
-      }
-      const bool now_empty =
-          std::all_of(scratch.begin(), scratch.end(),
-                      [](std::uint64_t w) { return w == 0; });
-      if (now_empty) {
-        ++stats.slices_removed;  // old slice emptied (fresh ones can't)
-        continue;
-      }
-      if (old_slice != slice) {
-        ++stats.slices_inserted;
-      } else {
-        stats.bits_patched += slice_edits;
-      }
-      new_indices.push_back(slice);
-      new_words.insert(new_words.end(), scratch.begin(), scratch.end());
+  bool any_structural = false;
+  while (e < sorted.size()) {
+    const std::size_t s = SlabOf(sorted[e].vector);
+    std::size_t group_end = e;
+    while (group_end < sorted.size() && SlabOf(sorted[group_end].vector) == s) {
+      ++group_end;
     }
-    new_offsets[v + 1] = new_indices.size();
+    ++stats.slabs_touched;
+
+    if (!structural_slab[s]) {
+      // In-place path: every edit in this slab flips a bit inside a
+      // slice that stays valid — patch words directly, no realloc.
+      Slab& slab = WritableSlab(s, stats);
+      for (; e < group_end; ++e) {
+        const SliceEdit& edit = sorted[e];
+        const std::uint32_t lv = LocalOf(edit.vector);
+        const std::uint32_t slice =
+            static_cast<std::uint32_t>(edit.position / slice_bits_);
+        const auto begin = slab.indices.begin() +
+                           static_cast<std::ptrdiff_t>(slab.offsets[lv]);
+        const auto end = slab.indices.begin() +
+                         static_cast<std::ptrdiff_t>(slab.offsets[lv + 1]);
+        const auto it = std::lower_bound(begin, end, slice);
+        const std::uint64_t global = static_cast<std::uint64_t>(
+            it - slab.indices.begin());
+        const std::uint64_t in_slice = edit.position % slice_bits_;
+        slab.words[global * words_per_slice_ + in_slice / 64] ^=
+            1ULL << (in_slice % 64);
+        ++stats.bits_patched;
+      }
+      continue;
+    }
+
+    // Structural path: rebuild just this slab by merging its old
+    // slices with the edit groups, in slice order per vector. A shared
+    // slab is not cloned first — the rebuilt arrays replace the
+    // pointer wholesale and the old slab stays alive for its other
+    // owners (that replacement IS the copy-on-write cost).
+    any_structural = true;
+    const std::shared_ptr<Slab> old = slabs_[s];
+    if (old.use_count() > 2) ++stats.slabs_cow_cloned;  // `old` + slabs_[s]
+    Slab fresh;
+    fresh.offsets.assign(kSlabVectors + 1, 0);
+    fresh.indices.reserve(old->indices.size() + (group_end - e));
+    fresh.words.reserve(old->words.size() +
+                        (group_end - e) * words_per_slice_);
+    const std::uint32_t base_v =
+        static_cast<std::uint32_t>(s << kSlabVectorShift);
+    for (std::uint32_t lv = 0; lv < kSlabVectors; ++lv) {
+      const std::uint32_t v = base_v + lv;
+      std::uint64_t o = old->offsets[lv];
+      const std::uint64_t old_end = old->offsets[lv + 1];
+      while (o < old_end || (e < group_end && sorted[e].vector == v)) {
+        const std::uint32_t old_slice =
+            o < old_end ? old->indices[o] : ~std::uint32_t{0};
+        const std::uint32_t edit_slice =
+            (e < group_end && sorted[e].vector == v)
+                ? static_cast<std::uint32_t>(sorted[e].position / slice_bits_)
+                : ~std::uint32_t{0};
+        const std::uint32_t slice = std::min(old_slice, edit_slice);
+        if (old_slice == slice) {
+          std::copy_n(old->words.begin() +
+                          static_cast<std::ptrdiff_t>(o * words_per_slice_),
+                      words_per_slice_, scratch.begin());
+          ++o;
+        } else {
+          std::fill(scratch.begin(), scratch.end(), 0);
+        }
+        std::uint64_t slice_edits = 0;
+        for (; e < group_end && sorted[e].vector == v &&
+               sorted[e].position / slice_bits_ == slice;
+             ++e) {
+          const std::uint64_t in_slice = sorted[e].position % slice_bits_;
+          scratch[in_slice / 64] ^= 1ULL << (in_slice % 64);
+          ++slice_edits;
+        }
+        const bool now_empty =
+            std::all_of(scratch.begin(), scratch.end(),
+                        [](std::uint64_t w) { return w == 0; });
+        if (now_empty) {
+          ++stats.slices_removed;  // old slice emptied (fresh ones can't)
+          continue;
+        }
+        if (old_slice != slice) {
+          ++stats.slices_inserted;
+        } else {
+          stats.bits_patched += slice_edits;
+        }
+        fresh.indices.push_back(slice);
+        fresh.words.insert(fresh.words.end(), scratch.begin(), scratch.end());
+      }
+      fresh.offsets[lv + 1] = fresh.indices.size();
+    }
+    slabs_[s] = std::make_shared<Slab>(std::move(fresh));
   }
 
-  num_vectors_ = new_num_vectors;
-  universe_ = new_universe;
-  slices_per_vector_ =
-      new_universe == 0 ? 0 : (new_universe + slice_bits_ - 1) / slice_bits_;
-  offsets_ = std::move(new_offsets);
-  indices_ = std::move(new_indices);
-  words_ = std::move(new_words);
+  stats.rebuilt = any_structural || grows;
+
+  // Refresh the global-ordinal prefix sums (touched slabs may have
+  // changed their valid-slice counts; growth may have added slabs).
+  slab_base_.assign(slabs_.size() + 1, 0);
+  for (std::size_t s = 0; s < slabs_.size(); ++s) {
+    slab_base_[s + 1] = slab_base_[s] + slabs_[s]->indices.size();
+  }
   return stats;
 }
 
@@ -382,9 +474,16 @@ BitVector SlicedStore::ToBitVector(std::uint32_t v) const {
 }
 
 std::uint64_t SlicedStore::HeapBytes() const noexcept {
-  return offsets_.capacity() * sizeof(std::uint64_t) +
-         indices_.capacity() * sizeof(std::uint32_t) +
-         words_.capacity() * sizeof(std::uint64_t);
+  std::uint64_t bytes =
+      slabs_.capacity() * sizeof(std::shared_ptr<Slab>) +
+      slab_base_.capacity() * sizeof(std::uint64_t);
+  for (const std::shared_ptr<Slab>& slab : slabs_) {
+    bytes += sizeof(Slab) +
+             slab->offsets.capacity() * sizeof(std::uint64_t) +
+             slab->indices.capacity() * sizeof(std::uint32_t) +
+             slab->words.capacity() * sizeof(std::uint64_t);
+  }
+  return bytes;
 }
 
 }  // namespace tcim::bit

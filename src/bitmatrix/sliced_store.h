@@ -9,14 +9,32 @@
 // computational memory arrays".
 //
 // SlicedStore holds one such compressed store for *all* vectors of one
-// orientation (all rows, or all columns) in CSR-like flat arrays, so a
-// multi-million-vertex graph costs three allocations, not millions.
+// orientation (all rows, or all columns), partitioned into refcounted
+// *slabs* of kSlabVectors consecutive vectors. Within a slab the valid
+// slices live in CSR-like flat arrays (contiguous per vector, so the
+// gather hot path still walks plain spans); across store copies slabs
+// are shared copy-on-write: copying a SlicedStore costs O(#slabs)
+// shared_ptr bumps, and ApplyEdits re-materializes only the slabs the
+// batch touches, leaving every untouched slab physically shared with
+// all previously taken copies. This is the storage half of the
+// epoch-snapshot serving layer (docs/SERVING.md): a published epoch is
+// a store copy, and its memory cost over its neighbours is exactly the
+// slabs its batches touched.
+//
+// Thread-safety: a SlicedStore value is not internally synchronized —
+// concurrent readers of one *const* store are safe (slabs are
+// immutable through the accessors), but ApplyEdits must be externally
+// serialized against both other writers and copies being taken of the
+// *same object* (runtime::StreamSession's writer lock provides this;
+// already-taken copies are unaffected and stay valid).
 //
 // Layer: §5 bitmatrix — see docs/ARCHITECTURE.md. Units: storage in
 // bytes, |S| in bits; all other fields are dimensionless counts.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -46,14 +64,23 @@ struct PatchStats {
   std::uint64_t slices_inserted = 0;
   /// Slices whose last bit was cleared (structural removal).
   std::uint64_t slices_removed = 0;
-  /// True when the flat arrays had to be recompacted (any structural
-  /// change or vector growth); false = pure in-place word patching.
+  /// COW slabs written by this batch (patched in place or rebuilt).
+  std::uint64_t slabs_touched = 0;
+  /// Touched slabs that were shared with a store copy (a published
+  /// epoch snapshot) and had to be cloned before writing — the
+  /// incremental memory cost of copy-on-write publication.
+  std::uint64_t slabs_cow_cloned = 0;
+  /// True when any slab had to be recompacted (a structural change —
+  /// slice inserted/removed — or vector growth); false = pure in-place
+  /// word patching.
   bool rebuilt = false;
 
   PatchStats& operator+=(const PatchStats& other) noexcept {
     bits_patched += other.bits_patched;
     slices_inserted += other.slices_inserted;
     slices_removed += other.slices_removed;
+    slabs_touched += other.slabs_touched;
+    slabs_cow_cloned += other.slabs_cow_cloned;
     rebuilt = rebuilt || other.rebuilt;
     return *this;
   }
@@ -66,6 +93,13 @@ struct PatchStats {
 /// tests against a freshly built store).
 class SlicedStore {
  public:
+  /// Vectors per copy-on-write slab (power of two). The granularity
+  /// trade: smaller slabs share more between epochs but cost more
+  /// shared_ptr bookkeeping per copy; 64 keeps the per-copy cost at
+  /// n/64 pointer bumps while a k-edit batch touches at most 2k slabs.
+  static constexpr std::uint32_t kSlabVectorShift = 6;
+  static constexpr std::uint32_t kSlabVectors = 1u << kSlabVectorShift;
+
   SlicedStore() = default;
 
   /// Packs a CSR-style adjacency into slices.
@@ -99,7 +133,7 @@ class SlicedStore {
   /// Total number of valid slices across all vectors (the paper's NVS
   /// for this orientation).
   [[nodiscard]] std::uint64_t valid_slice_count() const noexcept {
-    return indices_.size();
+    return slab_base_.back();
   }
   /// Total number of slice slots (valid + empty) = num_vectors *
   /// slices_per_vector; denominator of the Table IV percentage.
@@ -144,10 +178,13 @@ class SlicedStore {
     if (v >= num_vectors_) {
       throw std::out_of_range("SlicedStore::Slices: vector out of range");
     }
-    const std::uint64_t begin = offsets_[v];
-    const std::uint64_t end = offsets_[v + 1];
-    return {{indices_.data() + begin, static_cast<std::size_t>(end - begin)},
-            words_.data() + begin * words_per_slice_};
+    const Slab& slab = *slabs_[v >> kSlabVectorShift];
+    const std::uint32_t local = v & (kSlabVectors - 1);
+    const std::uint64_t begin = slab.offsets[local];
+    const std::uint64_t end = slab.offsets[local + 1];
+    return {{slab.indices.data() + begin,
+             static_cast<std::size_t>(end - begin)},
+            slab.words.data() + begin * words_per_slice_};
   }
 
   /// O(log slices) membership test of one bit of vector v.
@@ -176,13 +213,13 @@ class SlicedStore {
   /// order (drives the edge iteration of Algorithm 1).
   template <typename Fn>
   void ForEachSetBit(std::uint32_t v, Fn&& fn) const {
-    const std::uint64_t begin = offsets_[v];
-    const std::uint64_t end = offsets_[v + 1];
-    for (std::uint64_t s = begin; s < end; ++s) {
+    const VectorSlices vs = Slices(v);
+    for (std::size_t k = 0; k < vs.indices.size(); ++k) {
       const std::uint64_t base =
-          static_cast<std::uint64_t>(indices_[s]) * slice_bits_;
+          static_cast<std::uint64_t>(vs.indices[k]) * slice_bits_;
+      const std::uint64_t* slice = vs.words + k * words_per_slice_;
       for (std::uint32_t w = 0; w < words_per_slice_; ++w) {
-        std::uint64_t word = words_[s * words_per_slice_ + w];
+        std::uint64_t word = slice[w];
         while (word != 0) {
           const int b = std::countr_zero(word);
           fn(base + w * 64ULL + static_cast<std::uint64_t>(b));
@@ -193,18 +230,60 @@ class SlicedStore {
   }
 
   /// Approximate heap footprint of the store itself (diagnostics).
+  /// Shared slabs are counted in full for every copy that holds them.
   [[nodiscard]] std::uint64_t HeapBytes() const noexcept;
 
+  /// Number of COW slabs = ceil(num_vectors / kSlabVectors).
+  [[nodiscard]] std::size_t slab_count() const noexcept {
+    return slabs_.size();
+  }
+
+  friend std::size_t SharedSlabCount(const SlicedStore& a,
+                                     const SlicedStore& b) noexcept;
+
  private:
+  /// One refcounted group of kSlabVectors consecutive vectors. The
+  /// arrays are the same CSR layout the store used to hold globally,
+  /// but local to the slab: offsets has kSlabVectors+1 entries
+  /// (offsets[0] == 0; for vectors past num_vectors_ the trailing
+  /// entries repeat the last value, so growing the store never forces
+  /// a rebuild of its final slab). A slab is immutable once any copy
+  /// of the owning store exists; ApplyEdits clones it first
+  /// (use_count() > 1) before writing.
+  struct Slab {
+    std::vector<std::uint64_t> offsets;   // kSlabVectors+1, into indices
+    std::vector<std::uint32_t> indices;   // valid slice index within vector
+    std::vector<std::uint64_t> words;     // words_per_slice_ per valid slice
+  };
+
+  /// Returns a uniquely-owned, writable slab s, cloning a shared one.
+  Slab& WritableSlab(std::size_t s, PatchStats& stats);
+  static std::shared_ptr<Slab> MakeEmptySlab();
+
   std::uint32_t num_vectors_ = 0;
   std::uint64_t universe_ = 0;
   std::uint32_t slice_bits_ = 64;
   std::uint32_t words_per_slice_ = 1;
   std::uint64_t slices_per_vector_ = 0;
-  std::vector<std::uint64_t> offsets_;  // size num_vectors_+1, into indices_
-  std::vector<std::uint32_t> indices_;  // valid slice index within vector
-  std::vector<std::uint64_t> words_;    // words_per_slice_ per valid slice
+  std::vector<std::shared_ptr<Slab>> slabs_;
+  /// Prefix sums of per-slab valid-slice counts (size slabs_.size()+1,
+  /// slab_base_[0] == 0) — keeps GlobalOrdinal O(1) and
+  /// valid_slice_count() a single load. Recomputed per ApplyEdits.
+  std::vector<std::uint64_t> slab_base_{0};
 };
+
+/// Number of slab pointers a and b share (same Slab object) — the
+/// test-layer probe that COW publication really shares untouched
+/// storage between epochs. Stores of different shapes share nothing.
+[[nodiscard]] inline std::size_t SharedSlabCount(
+    const SlicedStore& a, const SlicedStore& b) noexcept {
+  const std::size_t n = std::min(a.slabs_.size(), b.slabs_.size());
+  std::size_t shared = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    shared += a.slabs_[s] == b.slabs_[s] ? 1 : 0;
+  }
+  return shared;
+}
 
 /// Merges the valid-slice index lists of (a, va) and (b, vb) and
 /// appends every matched pair's slice words to `arena` — the gather

@@ -1,6 +1,8 @@
 #include "runtime/aggregate.h"
 
 #include <algorithm>
+#include <cmath>
+#include <iomanip>
 #include <sstream>
 
 #include "util/table.h"
@@ -131,6 +133,65 @@ ClusterResult AggregateClusterResult(GraphPartition partition,
       cluster.energy_joules +
       perf_params.host_platform_power * cluster.critical_path_seconds;
   return cluster;
+}
+
+// --- LatencyRecorder --------------------------------------------------------
+
+namespace {
+
+std::string Millis(double seconds) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << seconds * 1e3 << "ms";
+  return os.str();
+}
+
+}  // namespace
+
+void LatencyRecorder::Record(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.push_back(seconds);
+  sum_ += seconds;
+  max_ = std::max(max_, seconds);
+}
+
+std::uint64_t LatencyRecorder::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.size();
+}
+
+double LatencyRecorder::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.empty() ? 0.0
+                          : sum_ / static_cast<double>(samples_.size());
+}
+
+double LatencyRecorder::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double LatencyRecorder::Percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // Nearest rank: smallest sample with >= p% of samples at or below it.
+  const std::size_t rank = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(clamped / 100.0 *
+                              static_cast<double>(sorted.size()))));
+  return sorted[rank - 1];
+}
+
+std::string LatencyRecorder::Summary() const {
+  const std::uint64_t n = count();
+  std::ostringstream os;
+  os << "n=" << n;
+  if (n > 0) {
+    os << " mean=" << Millis(mean()) << " p50=" << Millis(Percentile(50.0))
+       << " p99=" << Millis(Percentile(99.0)) << " max=" << Millis(max());
+  }
+  return os.str();
 }
 
 }  // namespace tcim::runtime

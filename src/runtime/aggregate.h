@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -111,6 +112,31 @@ struct StreamStats {
 
   void Add(const stream::BatchResult& batch);
   [[nodiscard]] std::string Summary() const;
+};
+
+/// Thread-safe latency aggregator for the serving layer: request
+/// threads Record() their end-to-end seconds, the reporter reads
+/// count/mean/max and nearest-rank percentiles (p50/p99 in the
+/// service_simulation tables and the mixed-mode scaling_stream bench).
+/// Percentile() sorts a copy per call — reporting-path cost, not
+/// request-path cost.
+class LatencyRecorder {
+ public:
+  void Record(double seconds);
+
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double max() const;
+  /// Nearest-rank percentile, p in [0, 100]; 0 when empty.
+  [[nodiscard]] double Percentile(double p) const;
+  /// "n=… mean=… p50=… p99=… max=…" with times in milliseconds.
+  [[nodiscard]] std::string Summary() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+  double max_ = 0.0;
 };
 
 }  // namespace tcim::runtime

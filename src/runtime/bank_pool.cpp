@@ -201,4 +201,17 @@ std::uint64_t BankPool::HostCount(const graph::Graph& g) const {
   return raw / graph::CountMultiplier(config_.accelerator.orientation);
 }
 
+std::uint64_t BankPool::HostCountMatrix(const bit::SlicedMatrix& matrix,
+                                        graph::Orientation orientation) const {
+  const GraphPartition partition =
+      PartitionMatrixRows(matrix, num_banks(), config_.partition);
+  std::vector<std::uint64_t> per_bank(num_banks(), 0);
+  RunShards(partition, [&](std::uint32_t b, const ShardInfo& shard) {
+    per_bank[b] = matrix.AndPopcountRows(shard.row_begin, shard.row_end);
+  });
+  std::uint64_t raw = 0;
+  for (const std::uint64_t shard_count : per_bank) raw += shard_count;
+  return raw / graph::CountMultiplier(orientation);
+}
+
 }  // namespace tcim::runtime

@@ -105,6 +105,17 @@ class BankPool {
   /// orientation: HostCount(g) == Count(g).triangles.
   [[nodiscard]] std::uint64_t HostCount(const graph::Graph& g) const;
 
+  /// The epoch-serving read path: counts an ALREADY-SLICED matrix (a
+  /// pinned COW epoch snapshot) on the bank shards — no orient, no
+  /// re-slice, just PartitionMatrixRows + per-shard AndPopcountRows.
+  /// `orientation` must be the orientation the matrix was built under
+  /// (EpochSnapshot carries it); it only supplies the final count
+  /// multiplier. Exact: equals HostCount of the materialized graph.
+  /// Thread-safe and concurrent like Count() — this is what query
+  /// jobs run while update batches apply.
+  [[nodiscard]] std::uint64_t HostCountMatrix(
+      const bit::SlicedMatrix& matrix, graph::Orientation orientation) const;
+
   [[nodiscard]] std::uint32_t num_banks() const noexcept {
     return static_cast<std::uint32_t>(banks_.size());
   }

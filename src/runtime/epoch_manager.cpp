@@ -1,0 +1,56 @@
+#include "runtime/epoch_manager.h"
+
+#include <utility>
+
+namespace tcim::runtime {
+
+std::uint64_t EpochManager::Publish(EpochSnapshot snapshot) {
+  auto* raw = new EpochSnapshot(std::move(snapshot));
+  // The deleter owns the counters: retirement accounting must work
+  // even when the last pin outlives the manager, and it must run
+  // synchronously in whatever thread drops the last reference.
+  Pin next(raw, [counters = counters_](const EpochSnapshot* p) {
+    delete p;
+    counters->live.fetch_sub(1, std::memory_order_relaxed);
+    counters->retired.fetch_add(1, std::memory_order_relaxed);
+  });
+  counters_->live.fetch_add(1, std::memory_order_relaxed);
+  counters_->published.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_epoch_++;
+    raw->epoch = id;
+    current_ = std::move(next);  // may retire the predecessor here
+  }
+  return id;
+}
+
+EpochManager::Pin EpochManager::PinCurrent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+std::uint64_t EpochManager::current_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_ == nullptr ? 0 : current_->epoch;
+}
+
+graph::Graph MaterializeEpochGraph(const EpochSnapshot& epoch) {
+  graph::GraphBuilder builder(epoch.num_vertices);
+  if (epoch.matrix != nullptr) {
+    const bit::SlicedStore& rows = epoch.matrix->rows();
+    builder.ReserveEdges(rows.set_bit_count());
+    for (graph::VertexId u = 0; u < rows.num_vectors(); ++u) {
+      rows.ForEachSetBit(u, [&](std::uint64_t v) {
+        // kFullSymmetric stores both (u,v) and (v,u); the builder's
+        // dedupe folds them, so adding every arc is correct for all
+        // three orientations.
+        builder.AddEdge(u, static_cast<graph::VertexId>(v));
+      });
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace tcim::runtime

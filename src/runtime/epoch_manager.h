@@ -1,0 +1,115 @@
+// Epoch-based snapshot isolation for the serving runtime.
+//
+// The storage layer (bitmatrix/sliced_store.h) makes SlicedMatrix
+// copies cheap — O(#slabs) shared_ptr bumps, touched slabs only — so
+// the runtime can afford to publish a *complete immutable matrix* per
+// applied batch. EpochManager is the MVCC hinge between one writer and
+// many readers:
+//
+//   writer:   ApplyBatch → Publish(EpochSnapshot)   (advances current)
+//   readers:  PinCurrent() → count on pin->matrix   (never blocks)
+//   retire:   last pin of an old epoch drops        (slabs freed)
+//
+// Pins are plain shared_ptr<const EpochSnapshot>: pinning is one
+// atomic refcount bump under a short mutex (no reader ever waits on a
+// writer's Apply), and retirement is the *synchronous* destructor of
+// the last reference — the moment the final pin of a superseded epoch
+// drops, its snapshot (and every COW slab only it held) is freed and
+// the retired() counter ticks. Tests assert live/retired counts
+// immediately after dropping a pin; no polling, no grace periods.
+//
+// Memory bound: live bytes = current matrix + Σ over live old epochs
+// of the slabs their successor batches touched (docs/SERVING.md works
+// the arithmetic). live_epochs() is the knob to watch in a server.
+//
+// Layer: §10 runtime — see docs/ARCHITECTURE.md and docs/SERVING.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "bitmatrix/sliced_matrix.h"
+#include "graph/graph.h"
+#include "graph/orientation.h"
+
+namespace tcim::runtime {
+
+/// One published, immutable version of a streamed graph. Everything a
+/// reader needs to count (and to cross-check the count) without ever
+/// touching writer state again.
+struct EpochSnapshot {
+  std::uint64_t epoch = 0;  ///< stamped by Publish; strictly increasing
+  graph::Orientation orientation = graph::Orientation::kUpper;
+  std::uint32_t slice_bits = 64;
+  graph::VertexId num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  /// The writer's maintained count at publication — the oracle every
+  /// epoch-pinned recount must reproduce exactly.
+  std::uint64_t triangles = 0;
+  /// COW copy of the sliced matrix as of this epoch; immutable.
+  std::shared_ptr<const bit::SlicedMatrix> matrix;
+};
+
+class EpochManager {
+ public:
+  /// A pinned epoch: holding one keeps the snapshot (and its slabs)
+  /// alive. Copyable; dropping the last Pin of a superseded epoch
+  /// retires it synchronously.
+  using Pin = std::shared_ptr<const EpochSnapshot>;
+
+  EpochManager() : counters_(std::make_shared<Counters>()) {}
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// Stamps `snapshot` with the next epoch id, makes it current, and
+  /// returns the id. The previous epoch stays alive while any Pin
+  /// holds it. Writer-side only (externally serialized; StreamSession
+  /// calls it under its writer lock).
+  std::uint64_t Publish(EpochSnapshot snapshot);
+
+  /// Pins the current epoch. Never blocks on a writer's ApplyBatch —
+  /// only on another Pin/Publish pointer swap (a few instructions).
+  /// Null until the first Publish.
+  [[nodiscard]] Pin PinCurrent() const;
+
+  /// Id of the current epoch (0 before the first Publish).
+  [[nodiscard]] std::uint64_t current_epoch() const;
+  /// Number of Publish calls.
+  [[nodiscard]] std::uint64_t published() const noexcept {
+    return counters_->published.load(std::memory_order_relaxed);
+  }
+  /// Epochs whose snapshot is still referenced (current counts as 1).
+  [[nodiscard]] std::uint64_t live_epochs() const noexcept {
+    return counters_->live.load(std::memory_order_relaxed);
+  }
+  /// Epochs fully released (snapshot destroyed, slabs freed).
+  [[nodiscard]] std::uint64_t retired() const noexcept {
+    return counters_->retired.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Shared with every snapshot's deleter so retirement accounting
+  /// survives the manager (a pin may outlive it).
+  struct Counters {
+    std::atomic<std::uint64_t> published{0};
+    std::atomic<std::uint64_t> live{0};
+    std::atomic<std::uint64_t> retired{0};
+  };
+
+  std::shared_ptr<Counters> counters_;
+  mutable std::mutex mu_;  ///< guards current_ swap only
+  Pin current_;
+  std::uint64_t next_epoch_ = 0;
+};
+
+/// From-scratch materialization of a pinned epoch as an undirected
+/// graph::Graph — the sequential-oracle path of the snapshot tests:
+/// rebuild the graph from the *matrix alone* and recount with a
+/// baseline. Under kUpper/kDegree every stored arc is one undirected
+/// edge; under kFullSymmetric both directions are stored and the
+/// builder dedupes them.
+[[nodiscard]] graph::Graph MaterializeEpochGraph(const EpochSnapshot& epoch);
+
+}  // namespace tcim::runtime

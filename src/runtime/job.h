@@ -39,12 +39,15 @@ enum class JobState : std::uint8_t {
 
 /// What a job computes. kCount runs the multi-bank pipeline on a whole
 /// graph; kUpdate applies one stream::EdgeDelta batch to a
-/// StreamSession — both kinds share the queue, the dispatch policies
-/// and the JobHandle lifecycle, so edge streams interleave with
-/// whole-graph queries.
+/// StreamSession; kQuery counts a StreamSession's *pinned epoch* on
+/// the bank pool without re-slicing (the serving read path — see
+/// docs/SERVING.md). Count and query jobs share the policy lane;
+/// updates ride a dedicated FIFO lane so the two kinds never race for
+/// ordering (scheduler.h, "Two lanes").
 enum class JobKind : std::uint8_t {
   kCount,
   kUpdate,
+  kQuery,
 };
 
 [[nodiscard]] inline std::string ToString(JobKind kind) {
@@ -53,6 +56,8 @@ enum class JobKind : std::uint8_t {
       return "count";
     case JobKind::kUpdate:
       return "update";
+    case JobKind::kQuery:
+      return "query";
   }
   return "?";
 }
@@ -81,14 +86,33 @@ struct JobOptions {
   std::string tag;
 };
 
+/// Result of one epoch-pinned serving query (JobKind::kQuery).
+struct QueryResult {
+  std::uint64_t epoch = 0;      ///< epoch the count was pinned to
+  std::uint64_t triangles = 0;  ///< bank-pool count of that epoch
+  graph::VertexId num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  /// True when this query's answer came from another query's shared
+  /// AndPopcountRows pass (request coalescing; see docs/SERVING.md).
+  bool coalesced = false;
+  /// Queries answered by the one pass this job belonged to (>= 1; the
+  /// leader and every coalesced follower report the same value).
+  std::uint64_t batch_size = 1;
+};
+
 /// Terminal result of a job, valid once state is kDone/kFailed/
 /// kCancelled. On kDone exactly one payload is meaningful: `result`
-/// for kCount jobs, `update` for kUpdate jobs (see `kind`).
+/// for kCount jobs, `update` for kUpdate jobs, `query` for kQuery
+/// jobs (see `kind`).
 struct JobOutcome {
   JobState state = JobState::kCancelled;
   JobKind kind = JobKind::kCount;
   ClusterResult result;         ///< kCount payload
   stream::BatchResult update;   ///< kUpdate payload
+  QueryResult query;            ///< kQuery payload
+  /// Epoch this job interacted with: the epoch an update published, or
+  /// the epoch a query pinned (== query.epoch). 0 for kCount.
+  std::uint64_t epoch = 0;
   std::string error;          ///< set when kFailed
   double queue_seconds = 0.0; ///< submit → dispatch (or cancel)
   double run_seconds = 0.0;   ///< dispatch → completion
@@ -140,14 +164,20 @@ class JobRecord {
   }
 
   void MarkDone(ClusterResult result) {
-    Finish(JobState::kDone, std::move(result), {}, {});
+    Finish(JobState::kDone, std::move(result), {}, {}, {}, 0);
   }
-  /// kUpdate flavour: the payload is the batch result.
-  void MarkDone(stream::BatchResult result) {
-    Finish(JobState::kDone, {}, std::move(result), {});
+  /// kUpdate flavour: the payload is the batch result plus the epoch
+  /// the batch published.
+  void MarkDone(stream::BatchResult result, std::uint64_t epoch = 0) {
+    Finish(JobState::kDone, {}, std::move(result), {}, {}, epoch);
+  }
+  /// kQuery flavour: the payload is the epoch-pinned query result.
+  void MarkDone(QueryResult result) {
+    const std::uint64_t epoch = result.epoch;
+    Finish(JobState::kDone, {}, {}, std::move(result), {}, epoch);
   }
   void MarkFailed(std::string error) {
-    Finish(JobState::kFailed, {}, {}, std::move(error));
+    Finish(JobState::kFailed, {}, {}, {}, std::move(error), 0);
   }
 
   /// kQueued → kCancelled. Returns false if the job already left the
@@ -165,12 +195,15 @@ class JobRecord {
  private:
   /// The single terminal transition; exactly one payload is set.
   void Finish(JobState state, ClusterResult result,
-              stream::BatchResult update, std::string error) {
+              stream::BatchResult update, QueryResult query,
+              std::string error, std::uint64_t epoch) {
     std::lock_guard<std::mutex> lock(mu_);
     state_ = state;
     outcome_.state = state;
     outcome_.result = std::move(result);
     outcome_.update = std::move(update);
+    outcome_.query = std::move(query);
+    outcome_.epoch = epoch;
     outcome_.error = std::move(error);
     outcome_.run_seconds = clock_.ElapsedSeconds();
     cv_.notify_all();

@@ -108,6 +108,63 @@ GraphPartition PartitionOrientedCsr(const graph::OrientedCsr& csr,
   return partition;
 }
 
+GraphPartition PartitionMatrixRows(const bit::SlicedMatrix& matrix,
+                                   std::uint32_t num_banks,
+                                   PartitionStrategy strategy) {
+  if (num_banks == 0) {
+    throw std::invalid_argument("PartitionMatrixRows: num_banks must be > 0");
+  }
+  const std::uint32_t n = matrix.num_vertices();
+  const bit::SlicedStore& rows = matrix.rows();
+
+  // Per-row arc (set-bit) prefix sums give the same degree-balanced
+  // boundaries PartitionOrientedCsr derives from CSR offsets.
+  std::vector<std::uint64_t> prefix(static_cast<std::size_t>(n) + 1, 0);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const bit::SlicedStore::VectorSlices vs = rows.Slices(v);
+    prefix[v + 1] =
+        prefix[v] +
+        bit::PopcountWords({vs.words, vs.indices.size() *
+                                          rows.words_per_slice()},
+                           bit::PopcountKind::kBuiltin);
+  }
+  const std::uint64_t total_arcs = prefix[n];
+
+  std::vector<graph::VertexId> bounds(num_banks + 1);
+  bounds[0] = 0;
+  bounds[num_banks] = n;
+  for (std::uint32_t b = 1; b < num_banks; ++b) {
+    if (strategy == PartitionStrategy::kContiguous) {
+      bounds[b] = static_cast<graph::VertexId>(
+          static_cast<std::uint64_t>(n) * b / num_banks);
+    } else {
+      const std::uint64_t target = total_arcs * b / num_banks;
+      const auto it = std::lower_bound(prefix.begin(), prefix.end(), target);
+      bounds[b] =
+          static_cast<graph::VertexId>(std::distance(prefix.begin(), it));
+    }
+  }
+  for (std::uint32_t b = 1; b <= num_banks; ++b) {
+    bounds[b] = std::max(bounds[b], bounds[b - 1]);
+  }
+
+  GraphPartition partition;
+  partition.shards.resize(num_banks);
+  partition.stats.strategy = strategy;
+  partition.stats.num_banks = num_banks;
+  partition.stats.total_arcs = total_arcs;
+  for (std::uint32_t b = 0; b < num_banks; ++b) {
+    ShardInfo& shard = partition.shards[b];
+    shard.bank = b;
+    shard.row_begin = bounds[b];
+    shard.row_end = bounds[b + 1];
+    shard.owned_arcs = prefix[shard.row_end] - prefix[shard.row_begin];
+    partition.stats.max_arcs =
+        std::max(partition.stats.max_arcs, shard.owned_arcs);
+  }
+  return partition;
+}
+
 void PrintPartitionTable(std::ostream& os, const GraphPartition& partition) {
   using util::TablePrinter;
   TablePrinter t({"Bank", "Rows", "Arcs", "Share", "Cut %", "Remote cols"});

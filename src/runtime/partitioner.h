@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "bitmatrix/sliced_matrix.h"
 #include "graph/orientation.h"
 
 namespace tcim::runtime {
@@ -118,6 +119,19 @@ struct GraphPartition {
 /// std::invalid_argument when num_banks == 0.
 [[nodiscard]] GraphPartition PartitionOrientedCsr(
     const graph::OrientedCsr& csr, std::uint32_t num_banks,
+    PartitionStrategy strategy);
+
+/// Shards an ALREADY-SLICED matrix into per-bank row ranges — the
+/// partition step of the epoch-pinned serving path, where re-deriving
+/// a CSR from the pinned COW matrix would cost exactly the layout work
+/// the snapshot is there to avoid. owned_arcs comes from per-row set-
+/// bit counts (same degree balance as PartitionOrientedCsr); the
+/// communication fields (cut_arcs, needed/remote cols, distinct_cols)
+/// are left 0 — the serving path never prints them, and computing them
+/// would need the per-arc column walk this function exists to skip.
+/// Throws std::invalid_argument when num_banks == 0.
+[[nodiscard]] GraphPartition PartitionMatrixRows(
+    const bit::SlicedMatrix& matrix, std::uint32_t num_banks,
     PartitionStrategy strategy);
 
 /// Renders the per-shard table (rows, arcs, cut %, remote columns) and

@@ -30,20 +30,60 @@ Scheduler::Scheduler(SchedulerConfig config)
 
 Scheduler::~Scheduler() { Shutdown(ShutdownMode::kDrain); }
 
+std::pair<std::shared_ptr<JobRecord>, bool> Scheduler::AdmitLocked(
+    JobKind kind, JobOptions options) {
+  const std::uint64_t sequence = next_sequence_++;
+  auto record = std::make_shared<JobRecord>(sequence, std::move(options), kind);
+  if (config_.max_pending > 0 &&
+      policy_lane_.size() + update_lane_.size() >= config_.max_pending) {
+    ++rejected_;
+    record->MarkFailed("admission: queue full");
+    return {std::move(record), false};
+  }
+  ++accepted_;
+  return {std::move(record), true};
+}
+
 JobHandle Scheduler::Submit(graph::Graph graph, JobOptions options) {
   std::shared_ptr<JobRecord> record;
+  bool admitted = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!accepting_) {
       throw std::runtime_error("Scheduler::Submit: scheduler is shut down");
     }
-    const std::uint64_t sequence = next_sequence_++;
-    record = std::make_shared<JobRecord>(sequence, std::move(options),
-                                         JobKind::kCount);
-    queue_.push_back(
-        QueueEntry{record, std::move(graph), nullptr, {}, sequence});
+    std::tie(record, admitted) = AdmitLocked(JobKind::kCount,
+                                             std::move(options));
+    if (admitted) {
+      policy_lane_.push_back(QueueEntry{record, std::move(graph), nullptr, {},
+                                        record->id()});
+    }
   }
-  cv_.notify_one();
+  if (admitted) cv_.notify_one();
+  return JobHandle{std::move(record)};
+}
+
+JobHandle Scheduler::SubmitQuery(std::shared_ptr<StreamSession> session,
+                                 JobOptions options) {
+  if (session == nullptr) {
+    throw std::invalid_argument("Scheduler::SubmitQuery: null session");
+  }
+  std::shared_ptr<JobRecord> record;
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!accepting_) {
+      throw std::runtime_error(
+          "Scheduler::SubmitQuery: scheduler is shut down");
+    }
+    std::tie(record, admitted) = AdmitLocked(JobKind::kQuery,
+                                             std::move(options));
+    if (admitted) {
+      policy_lane_.push_back(QueueEntry{record, graph::Graph{},
+                                        std::move(session), {}, record->id()});
+    }
+  }
+  if (admitted) cv_.notify_one();
   return JobHandle{std::move(record)};
 }
 
@@ -54,19 +94,22 @@ JobHandle Scheduler::SubmitUpdate(std::shared_ptr<StreamSession> session,
     throw std::invalid_argument("Scheduler::SubmitUpdate: null session");
   }
   std::shared_ptr<JobRecord> record;
+  bool admitted = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!accepting_) {
       throw std::runtime_error(
           "Scheduler::SubmitUpdate: scheduler is shut down");
     }
-    const std::uint64_t sequence = next_sequence_++;
-    record = std::make_shared<JobRecord>(sequence, std::move(options),
-                                         JobKind::kUpdate);
-    queue_.push_back(QueueEntry{record, graph::Graph{}, std::move(session),
-                                std::move(delta), sequence});
+    std::tie(record, admitted) = AdmitLocked(JobKind::kUpdate,
+                                             std::move(options));
+    if (admitted) {
+      update_lane_.push_back(QueueEntry{record, graph::Graph{},
+                                        std::move(session), std::move(delta),
+                                        record->id()});
+    }
   }
-  cv_.notify_one();
+  if (admitted) cv_.notify_one();
   return JobHandle{std::move(record)};
 }
 
@@ -91,10 +134,12 @@ void Scheduler::Shutdown(ShutdownMode mode) {
     shut_down_ = true;
     if (mode == ShutdownMode::kCancelPending) {
       cancel_pending_ = true;
-      for (QueueEntry& entry : queue_) {
-        if (entry.record->MarkCancelled()) ++completed_;
+      for (std::deque<QueueEntry>* lane : {&policy_lane_, &update_lane_}) {
+        for (QueueEntry& entry : *lane) {
+          if (entry.record->MarkCancelled()) ++completed_;
+        }
+        lane->clear();
       }
-      queue_.clear();
     }
   }
   cv_.notify_all();
@@ -109,11 +154,11 @@ void Scheduler::Shutdown(ShutdownMode mode) {
 
 std::uint64_t Scheduler::submitted() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return next_sequence_;
+  return accepted_;
 }
 std::uint64_t Scheduler::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return policy_lane_.size() + update_lane_.size();
 }
 std::uint64_t Scheduler::running() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -123,11 +168,19 @@ std::uint64_t Scheduler::completed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return completed_;
 }
+std::uint64_t Scheduler::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+std::uint64_t Scheduler::coalesced() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return coalesced_;
+}
 
-Scheduler::QueueEntry Scheduler::PopLocked() {
-  auto best = queue_.begin();
+Scheduler::QueueEntry Scheduler::PopPolicyLocked() {
+  auto best = policy_lane_.begin();
   if (config_.policy == SchedulingPolicy::kPriority) {
-    for (auto it = std::next(best); it != queue_.end(); ++it) {
+    for (auto it = std::next(best); it != policy_lane_.end(); ++it) {
       if (it->record->options().priority >
           best->record->options().priority) {
         best = it;  // FIFO tiebreak: keep the earliest of equal priority
@@ -135,45 +188,127 @@ Scheduler::QueueEntry Scheduler::PopLocked() {
     }
   }
   QueueEntry entry = std::move(*best);
-  queue_.erase(best);
+  policy_lane_.erase(best);
   return entry;
+}
+
+std::size_t Scheduler::DispatchableUpdateLocked() const {
+  // First update whose session has no batch applying: the earliest
+  // queue position per session, so per-session submission order holds
+  // at any dispatcher count. Updates for distinct idle sessions can
+  // dispatch concurrently.
+  for (std::size_t i = 0; i < update_lane_.size(); ++i) {
+    if (busy_sessions_.count(update_lane_[i].session.get()) == 0) return i;
+  }
+  return update_lane_.size();
 }
 
 void Scheduler::DispatcherLoop() {
   for (;;) {
     QueueEntry entry;
+    std::vector<QueueEntry> followers;
+    std::vector<std::uint64_t> follower_orders;
     std::uint64_t start_order = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] {
-        return shut_down_ || (!paused_ && !queue_.empty());
+        const bool dispatchable =
+            !policy_lane_.empty() ||
+            DispatchableUpdateLocked() < update_lane_.size();
+        if (shut_down_) {
+          // Drain: exit only when both lanes are empty; a lane held up
+          // by a busy session wakes us again when the batch finishes.
+          return dispatchable ||
+                 (policy_lane_.empty() && update_lane_.empty());
+        }
+        return !paused_ && dispatchable;
       });
-      if (queue_.empty() || cancel_pending_) {
-        if (shut_down_) return;  // drained (or pending was cancelled)
+      if (policy_lane_.empty() && update_lane_.empty()) {
+        if (shut_down_) return;
         continue;
       }
-      entry = PopLocked();
-      start_order = next_start_order_++;
-      ++running_;
-    }
-    if (!entry.record->MarkRunning(start_order)) {
-      std::lock_guard<std::mutex> lock(mu_);
-      --running_;
-      ++completed_;
-      continue;
-    }
-    // Update the counters before publishing the terminal state, so a
-    // client returning from Wait() observes them already settled.
-    ClusterResult count_result;
-    stream::BatchResult update_result;
-    std::string error;
-    bool ok = true;
-    try {
-      if (entry.record->kind() == JobKind::kUpdate) {
-        update_result = entry.session->Apply(entry.delta);
+      const std::size_t u = DispatchableUpdateLocked();
+      if (u < update_lane_.size()) {
+        // Update lane first: batches are cheap relative to counting
+        // passes and keeping the published epoch fresh is the point of
+        // the serving split.
+        entry = std::move(update_lane_[u]);
+        update_lane_.erase(update_lane_.begin() +
+                           static_cast<std::ptrdiff_t>(u));
+        busy_sessions_.insert(entry.session.get());
+      } else if (!policy_lane_.empty()) {
+        entry = PopPolicyLocked();
+        if (entry.record->kind() == JobKind::kQuery) {
+          // Coalesce: absorb every queued query for this session into
+          // one shared pass. Pinning happens at dispatch, so answering
+          // them all from the leader's pin is exactly what each would
+          // have computed alone.
+          for (auto it = policy_lane_.begin(); it != policy_lane_.end();) {
+            if (it->record->kind() == JobKind::kQuery &&
+                it->session == entry.session) {
+              followers.push_back(std::move(*it));
+              it = policy_lane_.erase(it);
+            } else {
+              ++it;
+            }
+          }
+        }
       } else {
-        count_result = pool_.Count(entry.graph);
+        continue;  // raced with another dispatcher
       }
+      start_order = next_start_order_++;
+      follower_orders.reserve(followers.size());
+      for (std::size_t f = 0; f < followers.size(); ++f) {
+        follower_orders.push_back(next_start_order_++);
+      }
+      running_ += 1 + followers.size();
+    }
+    RunEntry(std::move(entry), std::move(followers), start_order,
+             std::move(follower_orders));
+  }
+}
+
+void Scheduler::RunEntry(QueueEntry entry, std::vector<QueueEntry> followers,
+                         std::uint64_t start_order,
+                         std::vector<std::uint64_t> follower_orders) {
+  const JobKind kind = entry.record->kind();
+  const bool leader_running = entry.record->MarkRunning(start_order);
+  bool any_running = leader_running;
+  for (std::size_t f = 0; f < followers.size(); ++f) {
+    any_running |= followers[f].record->MarkRunning(follower_orders[f]);
+  }
+  ClusterResult count_result;
+  StreamSession::AppliedBatch applied;
+  QueryResult query_base;
+  std::string error;
+  bool ok = true;
+  if (any_running) {
+    try {
+      if (hooks_.before_job_run) hooks_.before_job_run(kind);
+      switch (kind) {
+        case JobKind::kUpdate:
+          applied = entry.session->Apply(entry.delta);
+          break;
+        case JobKind::kCount:
+          count_result = pool_.Count(entry.graph);
+          break;
+        case JobKind::kQuery: {
+          // Pin once for the whole coalesced group; count the pinned
+          // COW matrix on the bank pool without re-slicing. The writer
+          // may publish newer epochs mid-pass — this answer is exact
+          // for the epoch it names.
+          const EpochManager::Pin pin = entry.session->PinEpoch();
+          if (hooks_.after_query_pin) hooks_.after_query_pin(pin->epoch);
+          query_base.epoch = pin->epoch;
+          query_base.triangles =
+              pool_.HostCountMatrix(*pin->matrix, pin->orientation);
+          query_base.num_vertices = pin->num_vertices;
+          query_base.num_edges = pin->num_edges;
+          query_base.batch_size = 1 + followers.size();
+          break;
+        }
+      }
+      if (hooks_.after_job_run) hooks_.after_job_run(kind);
     } catch (const std::exception& e) {
       ok = false;
       error = e.what();
@@ -181,17 +316,43 @@ void Scheduler::DispatcherLoop() {
       ok = false;
       error = "unknown error";
     }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --running_;
-      ++completed_;
+  }
+  // Update the counters (and free the session for its next batch)
+  // before publishing the terminal state, so a client returning from
+  // Wait() observes them already settled.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ -= 1 + followers.size();
+    completed_ += 1 + followers.size();
+    if (ok && any_running) coalesced_ += followers.size();
+    if (kind == JobKind::kUpdate) {
+      busy_sessions_.erase(entry.session.get());
     }
-    if (!ok) {
-      entry.record->MarkFailed(std::move(error));
-    } else if (entry.record->kind() == JobKind::kUpdate) {
-      entry.record->MarkDone(std::move(update_result));
-    } else {
+  }
+  cv_.notify_all();
+  if (!any_running) return;  // every record already terminal
+  if (!ok) {
+    entry.record->MarkFailed(error);
+    for (QueueEntry& f : followers) f.record->MarkFailed(error);
+    return;
+  }
+  switch (kind) {
+    case JobKind::kUpdate:
+      entry.record->MarkDone(std::move(applied.batch), applied.epoch);
+      break;
+    case JobKind::kCount:
       entry.record->MarkDone(std::move(count_result));
+      break;
+    case JobKind::kQuery: {
+      QueryResult leader = query_base;
+      leader.coalesced = false;
+      entry.record->MarkDone(std::move(leader));
+      for (QueueEntry& f : followers) {
+        QueryResult follower = query_base;
+        follower.coalesced = true;
+        f.record->MarkDone(std::move(follower));
+      }
+      break;
     }
   }
 }

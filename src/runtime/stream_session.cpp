@@ -1,30 +1,55 @@
 #include "runtime/stream_session.h"
 
+#include <memory>
+
 namespace tcim::runtime {
 
 StreamSession::StreamSession(const graph::Graph& g,
                              stream::StreamConfig config)
-    : counter_(g, config) {}
+    : counter_(g, config) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  (void)PublishLocked();  // epoch 0: the seed graph
+}
 
-stream::BatchResult StreamSession::Apply(const stream::EdgeDelta& delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+std::uint64_t StreamSession::PublishLocked() {
+  EpochSnapshot snap;
+  snap.orientation = counter_.config().orientation;
+  snap.slice_bits = counter_.config().slice_bits;
+  snap.num_vertices = counter_.graph().num_vertices();
+  snap.num_edges = counter_.graph().num_edges();
+  snap.triangles = counter_.triangles();
+  // COW copy: O(#slabs) shared_ptr bumps; the slabs themselves are
+  // shared with the previous epoch except those the batch touched.
+  snap.matrix =
+      std::make_shared<const bit::SlicedMatrix>(counter_.graph().matrix());
+  return epochs_.Publish(std::move(snap));
+}
+
+StreamSession::AppliedBatch StreamSession::Apply(
+    const stream::EdgeDelta& delta) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
   stream::BatchResult result = counter_.ApplyBatch(delta);
-  stats_.Add(result);
-  return result;
+  if (before_publish_) before_publish_();
+  const std::uint64_t epoch = PublishLocked();
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.Add(result);
+  }
+  return AppliedBatch{std::move(result), epoch};
 }
 
 std::uint64_t StreamSession::triangles() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return counter_.triangles();
+  const EpochManager::Pin pin = epochs_.PinCurrent();
+  return pin == nullptr ? 0 : pin->triangles;
 }
 
 graph::Graph StreamSession::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return counter_.graph().ToGraph();
+  const EpochManager::Pin pin = epochs_.PinCurrent();
+  return pin == nullptr ? graph::Graph{} : MaterializeEpochGraph(*pin);
 }
 
 StreamStats StreamSession::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(stats_mu_);
   return stats_;
 }
 

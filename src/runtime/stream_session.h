@@ -1,31 +1,36 @@
 // StreamSession: a live graph under streaming updates, shared between
-// the scheduler's update jobs and direct callers.
+// the scheduler's update jobs, its query jobs, and direct callers —
+// the writer half of the epoch-snapshot serving layer.
 //
 // stream::IncrementalCounter is single-threaded by design (the overlay
 // bookkeeping assumes batches apply one at a time); StreamSession adds
-// the concurrency contract the runtime needs: Apply() serializes
-// batches under a mutex, accumulates the per-batch ExecStats into a
-// StreamStats aggregate, and Snapshot() hands out a consistent
-// graph::Graph copy for whole-graph counting jobs — so one session can
-// interleave update batches and full queries through the same
-// Scheduler (see scheduler.h SubmitUpdate).
+// the concurrency contract the runtime needs:
 //
-// Serialization is not ordering: when several batches for one session
-// are in flight at once (multiple scheduler dispatch threads, priority
-// scheduling, or concurrent direct callers), they apply one at a time
-// but in whatever order the mutex is won. Callers that need a specific
-// order must impose it — the scheduler defaults (FIFO, one dispatcher)
-// do, as does awaiting each batch before submitting the next.
+//  * Apply() serializes batches under the writer lock, then PUBLISHES
+//    the post-batch state as an immutable EpochSnapshot (a COW copy of
+//    the sliced matrix — O(#slabs) pointer bumps plus the slabs the
+//    batch touched; see bitmatrix/sliced_store.h).
+//  * PinEpoch() / triangles() / Snapshot() read the *published* epoch
+//    and never take the writer lock: readers never block on a batch in
+//    flight, they see the last published state. This is the snapshot-
+//    isolation contract the snapshot/stress tests enforce against the
+//    sequential oracle (docs/SERVING.md).
 //
-// Layer: §10 runtime — see docs/ARCHITECTURE.md. Units: SI seconds in
-// StreamStats; counts dimensionless.
+// Batch ordering across concurrent Apply() callers is whatever order
+// the writer lock is won; the Scheduler's dedicated update lane
+// guarantees submission order for SubmitUpdate batches (scheduler.h).
+//
+// Layer: §10 runtime — see docs/ARCHITECTURE.md and docs/SERVING.md.
+// Units: SI seconds in StreamStats; counts dimensionless.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 
 #include "graph/graph.h"
 #include "runtime/aggregate.h"
+#include "runtime/epoch_manager.h"
 #include "stream/edge_delta.h"
 #include "stream/incremental_counter.h"
 
@@ -33,23 +38,58 @@ namespace tcim::runtime {
 
 class StreamSession {
  public:
+  /// Seeds the live graph and publishes epoch 0 (the seed snapshot),
+  /// so readers have a pinnable state before any batch applies.
   explicit StreamSession(const graph::Graph& g,
                          stream::StreamConfig config = {});
 
-  /// Applies one batch (serialized; blocks while another batch or
-  /// snapshot is in flight) and folds its stats into the aggregate.
-  stream::BatchResult Apply(const stream::EdgeDelta& delta);
+  /// What one Apply() did: the batch result plus the epoch id the
+  /// post-batch state was published under.
+  struct AppliedBatch {
+    stream::BatchResult batch;
+    std::uint64_t epoch = 0;
+  };
 
+  /// Applies one batch (serialized under the writer lock; blocks while
+  /// another batch is in flight — never while readers count), folds
+  /// its stats into the aggregate, and publishes the new epoch.
+  AppliedBatch Apply(const stream::EdgeDelta& delta);
+
+  /// Pins the current published epoch; never blocks on a writer.
+  [[nodiscard]] EpochManager::Pin PinEpoch() const {
+    return epochs_.PinCurrent();
+  }
+  /// Triangle count of the published epoch; never blocks on a writer.
   [[nodiscard]] std::uint64_t triangles() const;
-  /// Consistent copy of the current graph (for Scheduler::Submit
-  /// counting jobs interleaved with the stream).
+  /// Consistent graph copy of the published epoch (for
+  /// Scheduler::Submit counting jobs interleaved with the stream);
+  /// never blocks on a writer.
   [[nodiscard]] graph::Graph Snapshot() const;
   /// Aggregate over every batch applied so far.
   [[nodiscard]] StreamStats stats() const;
+  /// Epoch bookkeeping (published / live / retired counters).
+  [[nodiscard]] const EpochManager& epochs() const noexcept {
+    return epochs_;
+  }
+
+  /// Test-only: runs inside Apply() after the batch has been applied
+  /// but BEFORE the new epoch publishes — the deterministic-
+  /// interleaving hook the scheduler tests use to hold a writer
+  /// mid-publish while readers pin. Set before any concurrent use.
+  void SetBeforePublishHook(std::function<void()> hook) {
+    before_publish_ = std::move(hook);
+  }
 
  private:
-  mutable std::mutex mu_;
-  stream::IncrementalCounter counter_;
+  /// Builds and publishes the snapshot of counter_'s current state.
+  /// Caller holds writer_mu_.
+  std::uint64_t PublishLocked();
+
+  mutable std::mutex writer_mu_;  ///< serializes Apply (and the ctor)
+  stream::IncrementalCounter counter_;  ///< guarded by writer_mu_
+  EpochManager epochs_;
+  std::function<void()> before_publish_;  ///< test hook; set pre-concurrency
+  mutable std::mutex stats_mu_;  ///< guards stats_ (readers vs writer)
   StreamStats stats_;
 };
 

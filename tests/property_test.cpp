@@ -5,10 +5,16 @@
 //  (3) slicing statistics conservation,
 //  (4) cache statistics conservation and capacity monotonicity,
 //  (5) incremental counts over randomized update batches equal a full
-//      CPU recount of the evolved graph.
+//      CPU recount of the evolved graph,
+//  (6) concurrent epoch-pinned reads during a randomized update stream
+//      match a sequential replay at every published epoch.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "baseline/cpu_tc.h"
 #include "bitmatrix/kernel_backend.h"
@@ -17,6 +23,8 @@
 #include "graph/generators.h"
 #include "graph/orientation.h"
 #include "graph/stats.h"
+#include "runtime/epoch_manager.h"
+#include "runtime/stream_session.h"
 #include "stream/incremental_counter.h"
 #include "util/rng.h"
 
@@ -192,6 +200,74 @@ TEST_P(FamilySeedTest, IncrementalCountMatchesFullRecount) {
           << "batch " << batch << " orientation "
           << graph::ToString(counter.config().orientation);
     }
+  }
+}
+
+TEST_P(FamilySeedTest, ConcurrentEpochReadsMatchSequentialReplay) {
+  // Snapshot-isolation property: while a writer streams randomized
+  // batches (same adversarial op mix as above, including one
+  // fallback-sized batch), a concurrent reader pins epochs and counts
+  // them straight off the COW matrix. Afterwards, every observed
+  // (epoch, count) pair must equal a SEQUENTIAL replay of the same
+  // deltas at that epoch — for each maintained orientation.
+  const Graph g = MakeGraph();
+  const std::uint64_t param_seed = std::get<1>(GetParam());
+  util::Xoshiro256 rng(0xEC0 + param_seed);
+  const auto n = g.num_vertices();
+  constexpr int kBatches = 6;
+  std::vector<stream::EdgeDelta> deltas(kBatches);
+  for (int batch = 0; batch < kBatches; ++batch) {
+    const bool big = batch == 3;  // one recount-fallback batch per sweep
+    const int ops = big ? static_cast<int>(g.num_edges() / 4) : 10;
+    for (int k = 0; k < ops; ++k) {
+      const auto u = static_cast<graph::VertexId>(rng() % (n + 4));
+      const auto v = static_cast<graph::VertexId>(rng() % (n + 4));
+      if (rng() % 3 == 0) {
+        deltas[batch].Erase(u, v);
+      } else {
+        deltas[batch].Insert(u, v);
+      }
+    }
+  }
+
+  for (const Orientation o :
+       {Orientation::kUpper, Orientation::kDegree,
+        Orientation::kFullSymmetric}) {
+    stream::StreamConfig config;
+    config.orientation = o;
+    runtime::StreamSession session(g, config);
+
+    std::atomic<bool> done{false};
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> observed;
+    std::thread reader([&] {
+      do {
+        const runtime::EpochManager::Pin pin = session.PinEpoch();
+        observed.emplace_back(pin->epoch,
+                              pin->matrix->AndPopcountAllEdges() /
+                                  graph::CountMultiplier(pin->orientation));
+      } while (!done.load(std::memory_order_acquire));
+    });
+    for (const stream::EdgeDelta& delta : deltas) {
+      (void)session.Apply(delta);
+    }
+    done.store(true, std::memory_order_release);
+    reader.join();
+
+    // Sequential replay oracle: epoch e -> exact total after e batches.
+    stream::IncrementalCounter replay(g, config);
+    std::vector<std::uint64_t> oracle{replay.triangles()};
+    for (const stream::EdgeDelta& delta : deltas) {
+      oracle.push_back(replay.ApplyBatch(delta).triangles);
+    }
+    ASSERT_FALSE(observed.empty());
+    for (const auto& [epoch, count] : observed) {
+      ASSERT_LT(epoch, oracle.size());
+      ASSERT_EQ(count, oracle[epoch])
+          << "epoch " << epoch << " orientation " << graph::ToString(o);
+    }
+    EXPECT_EQ(session.triangles(), oracle.back());
+    EXPECT_EQ(baseline::CountTrianglesReference(session.Snapshot()),
+              oracle.back());
   }
 }
 

@@ -1,13 +1,19 @@
 // Multi-bank runtime tests: partitioner invariants, count-exactness of
 // the bank pool against the single-accelerator path (the PR's core
-// acceptance property), stats aggregation, and seed derivation.
+// acceptance property), the matrix-direct serving read path, stats
+// aggregation, latency percentiles, and seed derivation — plus a
+// compact concurrency stress section (the heavy version lives in
+// stress_test under the `stress` ctest label).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <set>
+#include <thread>
 #include <tuple>
 #include <vector>
 
+#include "baseline/cpu_tc.h"
 #include "core/accelerator.h"
 #include "core/bitwise_tc.h"
 #include "graph/datasets.h"
@@ -15,7 +21,11 @@
 #include "graph/orientation.h"
 #include "runtime/aggregate.h"
 #include "runtime/bank_pool.h"
+#include "runtime/epoch_manager.h"
 #include "runtime/partitioner.h"
+#include "runtime/stream_session.h"
+#include "stream/edge_delta.h"
+#include "util/rng.h"
 
 namespace tcim {
 namespace {
@@ -101,6 +111,40 @@ TEST(PartitionerTest, ZeroBanksThrows) {
   EXPECT_THROW(runtime::PartitionOrientedCsr(
                    csr, 0, PartitionStrategy::kContiguous),
                std::invalid_argument);
+  const bit::SlicedMatrix matrix =
+      core::BuildSlicedMatrix(g, Orientation::kUpper, 64);
+  EXPECT_THROW(
+      runtime::PartitionMatrixRows(matrix, 0, PartitionStrategy::kContiguous),
+      std::invalid_argument);
+}
+
+TEST(PartitionerTest, MatrixRowPartitionMatchesCsrPartition) {
+  // PartitionMatrixRows weighs rows by their set-bit counts — exactly
+  // the CSR row degrees — so the shard boundaries must reproduce
+  // PartitionOrientedCsr's for every strategy and bank count (only the
+  // communication stats, which need the CSR, are left zero).
+  const Graph g = graph::Rmat(700, 5000, graph::RmatParams{}, 7);
+  const graph::OrientedCsr csr = graph::Orient(g, Orientation::kUpper);
+  const bit::SlicedMatrix matrix =
+      core::BuildSlicedMatrix(g, Orientation::kUpper, 64);
+  for (const auto strategy :
+       {PartitionStrategy::kContiguous, PartitionStrategy::kDegreeBalanced}) {
+    for (const std::uint32_t banks : {1u, 2u, 5u, 16u}) {
+      const GraphPartition want =
+          runtime::PartitionOrientedCsr(csr, banks, strategy);
+      const GraphPartition got =
+          runtime::PartitionMatrixRows(matrix, banks, strategy);
+      ASSERT_EQ(got.num_banks(), banks);
+      std::uint64_t arcs = 0;
+      for (std::uint32_t b = 0; b < banks; ++b) {
+        EXPECT_EQ(got.shards[b].row_begin, want.shards[b].row_begin);
+        EXPECT_EQ(got.shards[b].row_end, want.shards[b].row_end);
+        EXPECT_EQ(got.shards[b].owned_arcs, want.shards[b].owned_arcs);
+        arcs += got.shards[b].owned_arcs;
+      }
+      EXPECT_EQ(arcs, matrix.edge_count());
+    }
+  }
 }
 
 // --- bank pool exactness (tentpole acceptance property) --------------------
@@ -234,6 +278,25 @@ TEST(BankPoolTest, HostCountExactUnderFullSymmetricOrientation) {
   EXPECT_EQ(pool.HostCount(g), core::CountTrianglesDense(g));
 }
 
+TEST(BankPoolTest, HostCountMatrixMatchesHostCountEverywhere) {
+  // The serving read path counts an already-sliced matrix directly; it
+  // must agree with the orient-slice-count pipelines on every family
+  // and orientation.
+  const BankPool pool{PoolConfig(3, PartitionStrategy::kDegreeBalanced)};
+  for (const FamilyCase& family : kFamilies) {
+    const Graph g = family.make(33);
+    const std::uint64_t expected = baseline::CountTrianglesReference(g);
+    for (const Orientation orientation :
+         {Orientation::kUpper, Orientation::kDegree,
+          Orientation::kFullSymmetric}) {
+      const bit::SlicedMatrix matrix =
+          core::BuildSlicedMatrix(g, orientation, 64);
+      EXPECT_EQ(pool.HostCountMatrix(matrix, orientation), expected)
+          << family.name << " " << graph::ToString(orientation);
+    }
+  }
+}
+
 TEST(BankPoolTest, FewerThreadsThanBanksStillExact) {
   BankPoolConfig config = PoolConfig(6, PartitionStrategy::kDegreeBalanced);
   config.num_threads = 2;
@@ -363,6 +426,69 @@ TEST(AggregateTest, LatencyViewsAreSumAndMax) {
   EXPECT_DOUBLE_EQ(cluster.energy_joules, 0.75);
   EXPECT_DOUBLE_EQ(cluster.platform_joules, 0.75 + 2.0 * 5.0);
   EXPECT_DOUBLE_EQ(cluster.Speedup(), 8.0 / 5.0);
+}
+
+TEST(AggregateTest, LatencyRecorderNearestRankPercentiles) {
+  runtime::LatencyRecorder recorder;
+  EXPECT_EQ(recorder.count(), 0u);
+  EXPECT_EQ(recorder.Percentile(99.0), 0.0);
+  // Record 1ms..10ms out of order; nearest-rank percentiles are exact
+  // sample values, never interpolations.
+  for (const double ms : {4., 1., 9., 2., 7., 5., 10., 3., 8., 6.}) {
+    recorder.Record(ms / 1e3);
+  }
+  EXPECT_EQ(recorder.count(), 10u);
+  EXPECT_DOUBLE_EQ(recorder.mean(), 5.5e-3);
+  EXPECT_DOUBLE_EQ(recorder.max(), 10e-3);
+  EXPECT_DOUBLE_EQ(recorder.Percentile(50.0), 5e-3);
+  EXPECT_DOUBLE_EQ(recorder.Percentile(99.0), 10e-3);
+  EXPECT_DOUBLE_EQ(recorder.Percentile(0.0), 1e-3);
+  EXPECT_DOUBLE_EQ(recorder.Percentile(100.0), 10e-3);
+  EXPECT_NE(recorder.Summary().find("n=10"), std::string::npos);
+  EXPECT_NE(recorder.Summary().find("p99="), std::string::npos);
+}
+
+// --- concurrency stress (compact; heavy runs live in stress_test) ----------
+
+TEST(RuntimeStress, ReadersCountConsistentEpochsWhileWriterStreams) {
+  runtime::StreamSession session(graph::ErdosRenyi(150, 600, 13));
+  constexpr int kReaders = 2;
+  constexpr int kBatches = 12;
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      do {
+        const runtime::EpochManager::Pin pin = session.PinEpoch();
+        const std::uint64_t counted =
+            pin->matrix->AndPopcountAllEdges() /
+            graph::CountMultiplier(pin->orientation);
+        if (counted != pin->triangles) failures.fetch_add(1);
+      } while (!done.load(std::memory_order_acquire));
+    });
+  }
+  util::Xoshiro256 rng(3);
+  for (int b = 0; b < kBatches; ++b) {
+    stream::EdgeDelta delta;
+    for (int k = 0; k < 6; ++k) {
+      const auto u = static_cast<graph::VertexId>(rng() % 155);
+      const auto v = static_cast<graph::VertexId>(rng() % 155);
+      if (rng() % 3 == 0) {
+        delta.Erase(u, v);
+      } else {
+        delta.Insert(u, v);
+      }
+    }
+    (void)session.Apply(delta);
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(session.epochs().live_epochs(), 1u);
+  EXPECT_EQ(baseline::CountTrianglesReference(session.Snapshot()),
+            session.triangles());
 }
 
 }  // namespace

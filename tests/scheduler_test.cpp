@@ -1,16 +1,29 @@
 // Scheduler tests: submission/dispatch ordering (FIFO and priority),
-// concurrent submission from many threads, and both graceful-shutdown
-// flavours. Pause()/Resume() stages deterministic queue contents so
-// the ordering assertions are race-free.
+// concurrent submission from many threads, both graceful-shutdown
+// flavours, epoch-pinned query jobs (coalescing, admission control)
+// and the deterministic interleavings of the snapshot-serving layer.
+// Pause()/Resume() stages deterministic queue contents so the ordering
+// assertions are race-free; SchedulerTestHooks pins the exact
+// publish/pin/retire interleavings instead of hoping a stress run
+// hits them.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/bitwise_tc.h"
 #include "graph/generators.h"
+#include "graph/graph.h"
 #include "runtime/scheduler.h"
+#include "runtime/stream_session.h"
+#include "stream/edge_delta.h"
+#include "stream/incremental_counter.h"
+#include "util/rng.h"
 
 namespace tcim {
 namespace {
@@ -21,7 +34,10 @@ using runtime::JobOutcome;
 using runtime::JobState;
 using runtime::Scheduler;
 using runtime::SchedulerConfig;
+using runtime::SchedulerTestHooks;
 using runtime::SchedulingPolicy;
+using runtime::StreamSession;
+using stream::EdgeDelta;
 
 SchedulerConfig SmallScheduler(SchedulingPolicy policy,
                                std::uint32_t dispatch_threads = 1) {
@@ -158,6 +174,236 @@ TEST(SchedulerTest, DoubleShutdownIsIdempotent) {
   scheduler.Shutdown();
   scheduler.Shutdown(Scheduler::ShutdownMode::kCancelPending);
   EXPECT_EQ(scheduler.completed(), 1u);
+}
+
+// --- epoch-pinned query jobs ----------------------------------------------
+
+graph::Graph TwoTriangles() {
+  // Two triangles sharing edge {1, 2}; Insert(0, 3) closes two more.
+  graph::GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  b.AddEdge(4, 5);
+  return std::move(b).Build();
+}
+
+TEST(SchedulerQueryJobs, QueryCountsThePublishedEpoch) {
+  auto session = std::make_shared<StreamSession>(TwoTriangles());
+  Scheduler scheduler{SmallScheduler(SchedulingPolicy::kFifo)};
+
+  const JobOutcome before = scheduler.SubmitQuery(session, {}).Wait();
+  ASSERT_EQ(before.state, JobState::kDone);
+  EXPECT_EQ(before.kind, runtime::JobKind::kQuery);
+  EXPECT_EQ(before.query.epoch, 0u);
+  EXPECT_EQ(before.epoch, 0u);
+  EXPECT_EQ(before.query.triangles, 2u);
+  EXPECT_EQ(before.query.num_vertices, 6u);
+  EXPECT_EQ(before.query.batch_size, 1u);
+  EXPECT_FALSE(before.query.coalesced);
+
+  EdgeDelta delta;
+  delta.Insert(0, 3);
+  const JobOutcome update = scheduler.SubmitUpdate(session, delta, {}).Wait();
+  ASSERT_EQ(update.state, JobState::kDone);
+  EXPECT_EQ(update.epoch, 1u);
+
+  const JobOutcome after = scheduler.SubmitQuery(session, {}).Wait();
+  ASSERT_EQ(after.state, JobState::kDone);
+  EXPECT_EQ(after.query.epoch, 1u);
+  EXPECT_EQ(after.query.triangles, 4u);
+}
+
+TEST(SchedulerQueryJobs, QueuedQueriesCoalesceIntoOneSharedPass) {
+  auto session = std::make_shared<StreamSession>(TwoTriangles());
+  Scheduler scheduler{SmallScheduler(SchedulingPolicy::kFifo)};
+  scheduler.Pause();
+  std::vector<JobHandle> handles;
+  for (int q = 0; q < 5; ++q) {
+    handles.push_back(scheduler.SubmitQuery(session, {}));
+  }
+  scheduler.Resume();
+
+  int leaders = 0;
+  for (const JobHandle& handle : handles) {
+    const JobOutcome outcome = handle.Wait();
+    ASSERT_EQ(outcome.state, JobState::kDone);
+    // One shared pass answered all five with the same pinned epoch.
+    EXPECT_EQ(outcome.query.epoch, 0u);
+    EXPECT_EQ(outcome.query.triangles, 2u);
+    EXPECT_EQ(outcome.query.batch_size, 5u);
+    leaders += outcome.query.coalesced ? 0 : 1;
+  }
+  EXPECT_EQ(leaders, 1);
+  EXPECT_EQ(scheduler.coalesced(), 4u);
+}
+
+TEST(SchedulerQueryJobs, NullSessionAndShutdownThrow) {
+  Scheduler scheduler{SmallScheduler(SchedulingPolicy::kFifo)};
+  EXPECT_THROW((void)scheduler.SubmitQuery(nullptr, {}),
+               std::invalid_argument);
+  scheduler.Shutdown();
+  auto session = std::make_shared<StreamSession>(TwoTriangles());
+  EXPECT_THROW((void)scheduler.SubmitQuery(session, {}), std::runtime_error);
+}
+
+// --- admission control -----------------------------------------------------
+
+TEST(SchedulerAdmission, RejectsSubmissionsBeyondMaxPending) {
+  SchedulerConfig config = SmallScheduler(SchedulingPolicy::kFifo);
+  config.max_pending = 2;
+  Scheduler scheduler{config};
+  scheduler.Pause();  // nothing dispatches: the queue fills deterministically
+
+  std::vector<JobHandle> handles;
+  for (std::uint64_t j = 0; j < 4; ++j) {
+    handles.push_back(scheduler.Submit(JobGraph(j)));
+  }
+  // First two admitted; the rest shed as failed handles, not thrown.
+  EXPECT_EQ(scheduler.pending(), 2u);
+  EXPECT_EQ(scheduler.submitted(), 2u);
+  EXPECT_EQ(scheduler.rejected(), 2u);
+  for (std::size_t j = 2; j < 4; ++j) {
+    const JobOutcome outcome = handles[j].Wait();  // already terminal
+    EXPECT_EQ(outcome.state, JobState::kFailed);
+    EXPECT_EQ(outcome.error, "admission: queue full");
+  }
+
+  scheduler.Resume();
+  for (std::size_t j = 0; j < 2; ++j) {
+    EXPECT_EQ(handles[j].Wait().state, JobState::kDone);
+  }
+}
+
+// --- cross-kind ordering (regression) --------------------------------------
+
+TEST(SchedulerUpdateOrdering, ConcurrentSubmittersApplyInSubmissionOrder) {
+  // Regression for the cross-kind ordering bug: updates must serialize
+  // among themselves in submission order even when several submitter
+  // threads race and several dispatcher threads run. The probe is the
+  // published epoch (the b-th applied batch publishes epoch b+1) and a
+  // sequential replay of the deltas in handle-id order, which must
+  // reproduce every outcome's running total exactly.
+  const graph::Graph seed = TwoTriangles();
+  auto session = std::make_shared<StreamSession>(seed);
+  Scheduler scheduler{
+      SmallScheduler(SchedulingPolicy::kFifo, /*dispatch_threads=*/3)};
+
+  constexpr int kSubmitters = 3;
+  constexpr int kBatchesEach = 6;
+  std::vector<std::vector<std::pair<JobHandle, EdgeDelta>>> submitted(
+      kSubmitters);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      util::Xoshiro256 rng(77 + static_cast<std::uint64_t>(t));
+      for (int b = 0; b < kBatchesEach; ++b) {
+        EdgeDelta delta;
+        for (int k = 0; k < 4; ++k) {
+          const auto u = static_cast<graph::VertexId>(rng() % 12);
+          const auto v = static_cast<graph::VertexId>(rng() % 12);
+          if (rng() % 3 == 0) {
+            delta.Erase(u, v);
+          } else {
+            delta.Insert(u, v);
+          }
+        }
+        submitted[t].emplace_back(scheduler.SubmitUpdate(session, delta, {}),
+                                  delta);
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+
+  // Collect (id, outcome, delta) and sort by submission id.
+  struct Applied {
+    std::uint64_t id;
+    JobOutcome outcome;
+    EdgeDelta delta;
+  };
+  std::vector<Applied> applied;
+  for (const auto& per_thread : submitted) {
+    for (const auto& [handle, delta] : per_thread) {
+      applied.push_back(Applied{handle.id(), handle.Wait(), delta});
+    }
+  }
+  std::sort(applied.begin(), applied.end(),
+            [](const Applied& a, const Applied& b) { return a.id < b.id; });
+
+  stream::IncrementalCounter replay(seed);
+  for (std::size_t b = 0; b < applied.size(); ++b) {
+    ASSERT_EQ(applied[b].outcome.state, JobState::kDone)
+        << applied[b].outcome.error;
+    // Submission order == apply order == epoch order.
+    ASSERT_EQ(applied[b].outcome.epoch, b + 1);
+    ASSERT_EQ(applied[b].outcome.update.triangles,
+              replay.ApplyBatch(applied[b].delta).triangles)
+        << "batch " << b;
+  }
+  EXPECT_EQ(session->epochs().current_epoch(),
+            static_cast<std::uint64_t>(kSubmitters * kBatchesEach));
+}
+
+// --- deterministic interleavings -------------------------------------------
+
+TEST(SchedulerInterleaving, PublishDuringCountAnswersThePinnedEpoch) {
+  // The writer publishes a new epoch AFTER the query pinned but BEFORE
+  // it counted: the query must still answer for the epoch it pinned.
+  auto session = std::make_shared<StreamSession>(TwoTriangles());
+  Scheduler scheduler{SmallScheduler(SchedulingPolicy::kFifo)};
+  std::atomic<bool> once{false};
+  SchedulerTestHooks hooks;
+  hooks.after_query_pin = [&](std::uint64_t) {
+    if (once.exchange(true)) return;
+    EdgeDelta delta;
+    delta.Insert(0, 3);
+    (void)session->Apply(delta);  // publish mid-count, bypassing the lanes
+  };
+  scheduler.SetTestHooks(hooks);
+
+  const JobOutcome outcome = scheduler.SubmitQuery(session, {}).Wait();
+  ASSERT_EQ(outcome.state, JobState::kDone);
+  EXPECT_EQ(outcome.query.epoch, 0u);
+  EXPECT_EQ(outcome.query.triangles, 2u);  // pre-publish state
+  EXPECT_EQ(session->triangles(), 4u);     // the session moved on
+
+  const JobOutcome after = scheduler.SubmitQuery(session, {}).Wait();
+  EXPECT_EQ(after.query.epoch, 1u);
+  EXPECT_EQ(after.query.triangles, 4u);
+}
+
+TEST(SchedulerInterleaving, SupersededEpochRetiresWhenLastReaderExits) {
+  // The query's pin is the LAST reference to its epoch once the hook
+  // publishes a successor: retirement must fire exactly when the query
+  // drops the pin (before its handle resolves), not while it counts.
+  auto session = std::make_shared<StreamSession>(TwoTriangles());
+  Scheduler scheduler{SmallScheduler(SchedulingPolicy::kFifo)};
+  std::atomic<bool> once{false};
+  std::atomic<std::uint64_t> live_during{0};
+  std::atomic<std::uint64_t> retired_during{0};
+  SchedulerTestHooks hooks;
+  hooks.after_query_pin = [&](std::uint64_t) {
+    if (once.exchange(true)) return;
+    EdgeDelta delta;
+    delta.Insert(0, 3);
+    (void)session->Apply(delta);  // supersede the pinned epoch
+    live_during = session->epochs().live_epochs();
+    retired_during = session->epochs().retired();
+  };
+  scheduler.SetTestHooks(hooks);
+
+  const JobOutcome outcome = scheduler.SubmitQuery(session, {}).Wait();
+  ASSERT_EQ(outcome.state, JobState::kDone);
+  EXPECT_EQ(outcome.query.epoch, 0u);
+  // While the query counted, its pin kept the superseded epoch alive.
+  EXPECT_EQ(live_during.load(), 2u);
+  EXPECT_EQ(retired_during.load(), 0u);
+  // The handle resolves only after the pin dropped: retired already 1.
+  EXPECT_EQ(session->epochs().live_epochs(), 1u);
+  EXPECT_EQ(session->epochs().retired(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,192 @@
+// Heavy concurrency stress over the snapshot-serving runtime. Scaled
+// by environment knobs so the default registration stays minutes-fast
+// while the nightly CI leg (and TSan) can crank it up:
+//
+//   TCIM_STRESS_ITERS    — writer batches per scenario (default 200)
+//   TCIM_STRESS_THREADS  — reader/tenant threads      (default 4)
+//
+// Registered as a single ctest entry under the `stress` label (see
+// CMakeLists.txt); quick legs exclude it with `ctest -LE stress`.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "baseline/cpu_tc.h"
+#include "graph/generators.h"
+#include "runtime/epoch_manager.h"
+#include "runtime/scheduler.h"
+#include "runtime/stream_session.h"
+#include "stream/edge_delta.h"
+#include "stream/incremental_counter.h"
+#include "util/env.h"
+#include "util/rng.h"
+
+namespace tcim {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+using runtime::EpochManager;
+using runtime::StreamSession;
+using stream::EdgeDelta;
+
+std::uint64_t StressIters() { return util::EnvU64("TCIM_STRESS_ITERS", 200); }
+std::uint64_t StressThreads() {
+  return std::max<std::uint64_t>(1, util::EnvU64("TCIM_STRESS_THREADS", 4));
+}
+
+EdgeDelta RandomDelta(util::Xoshiro256& rng, VertexId universe, int ops) {
+  EdgeDelta delta;
+  for (int k = 0; k < ops; ++k) {
+    const auto u = static_cast<VertexId>(rng() % universe);
+    const auto v = static_cast<VertexId>(rng() % universe);
+    if (rng() % 3 == 0) {
+      delta.Erase(u, v);
+    } else {
+      delta.Insert(u, v);
+    }
+  }
+  return delta;
+}
+
+std::uint64_t CountPin(const EpochManager::Pin& pin) {
+  return pin->matrix->AndPopcountAllEdges() /
+         graph::CountMultiplier(pin->orientation);
+}
+
+TEST(StressRunner, ReadersVsWriterRandomChurn) {
+  // Direct-session stress: TCIM_STRESS_THREADS readers pin and count
+  // continuously while the writer streams TCIM_STRESS_ITERS randomized
+  // batches. Every pin is checked against its epoch's maintained
+  // total; every 32nd against the from-scratch CPU oracle.
+  const Graph seed = graph::ErdosRenyi(250, 1000, 21);
+  StreamSession session(seed);
+  const std::uint64_t iters = StressIters();
+  const std::uint64_t readers = StressThreads();
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> checks{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(readers);
+  for (std::uint64_t r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      util::Xoshiro256 rng(0xBEEF + r);
+      // do-while so every reader checks at least once even when the
+      // writer finishes before this thread is first scheduled.
+      do {
+        const EpochManager::Pin pin = session.PinEpoch();
+        if (CountPin(pin) != pin->triangles) failures.fetch_add(1);
+        if (rng() % 32 == 0 &&
+            baseline::CountTrianglesReference(
+                runtime::MaterializeEpochGraph(*pin)) != pin->triangles) {
+          failures.fetch_add(1);
+        }
+        checks.fetch_add(1, std::memory_order_relaxed);
+      } while (!done.load(std::memory_order_acquire));
+    });
+  }
+
+  util::Xoshiro256 rng(0xABCD);
+  for (std::uint64_t b = 0; b < iters; ++b) {
+    const StreamSession::AppliedBatch applied =
+        session.Apply(RandomDelta(rng, 260, 8));
+    ASSERT_EQ(applied.epoch, b + 1);
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(checks.load(), 0u);
+  EXPECT_EQ(session.epochs().live_epochs(), 1u);
+  EXPECT_EQ(session.epochs().retired(), iters);
+  EXPECT_EQ(baseline::CountTrianglesReference(session.Snapshot()),
+            session.triangles());
+}
+
+TEST(StressRunner, SchedulerMixedQueryUpdateChurn) {
+  // Scheduler-path stress: tenant threads flood SubmitQuery while the
+  // main thread submits the update stream. Afterwards every update
+  // outcome must replay in submission order on a sequential oracle,
+  // and every query outcome must match the oracle total at the epoch
+  // it pinned.
+  const Graph seed = graph::ErdosRenyi(200, 800, 31);
+  auto session = std::make_shared<StreamSession>(seed);
+  runtime::SchedulerConfig config;
+  config.dispatch_threads = 2;
+  config.pool.num_banks = 2;
+  runtime::Scheduler scheduler(config);
+
+  const std::uint64_t batches = std::max<std::uint64_t>(8, StressIters() / 4);
+  const std::uint64_t tenants = StressThreads();
+
+  util::Xoshiro256 rng(0x5EED);
+  std::vector<EdgeDelta> deltas;
+  deltas.reserve(batches);
+  for (std::uint64_t b = 0; b < batches; ++b) {
+    deltas.push_back(RandomDelta(rng, 210, 6));
+  }
+
+  std::atomic<bool> done{false};
+  std::vector<std::vector<runtime::JobHandle>> tenant_queries(tenants);
+  std::vector<std::thread> threads;
+  threads.reserve(tenants);
+  for (std::uint64_t t = 0; t < tenants; ++t) {
+    threads.emplace_back([&, t] {
+      do {
+        tenant_queries[t].push_back(scheduler.SubmitQuery(session, {}));
+        std::this_thread::yield();
+      } while (!done.load(std::memory_order_acquire));
+    });
+  }
+
+  std::vector<runtime::JobHandle> updates;
+  updates.reserve(batches);
+  for (const EdgeDelta& delta : deltas) {
+    updates.push_back(scheduler.SubmitUpdate(session, delta, {}));
+  }
+  for (const runtime::JobHandle& h : updates) (void)h.Wait();
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+  scheduler.Shutdown();
+
+  // Sequential replay oracle: epoch e -> exact triangle total.
+  std::map<std::uint64_t, std::uint64_t> oracle;
+  stream::IncrementalCounter replay(seed);
+  oracle[0] = replay.triangles();
+  for (std::uint64_t b = 0; b < batches; ++b) {
+    oracle[b + 1] = replay.ApplyBatch(deltas[b]).triangles;
+  }
+
+  for (std::uint64_t b = 0; b < batches; ++b) {
+    const runtime::JobOutcome outcome = updates[b].Wait();
+    ASSERT_EQ(outcome.state, runtime::JobState::kDone) << outcome.error;
+    // Updates serialize in submission order: batch b publishes epoch
+    // b+1 and reproduces the sequential totals exactly.
+    ASSERT_EQ(outcome.epoch, b + 1);
+    ASSERT_EQ(outcome.update.triangles, oracle[b + 1]) << "batch " << b;
+  }
+
+  std::uint64_t answered = 0;
+  for (const std::vector<runtime::JobHandle>& handles : tenant_queries) {
+    for (const runtime::JobHandle& h : handles) {
+      const runtime::JobOutcome outcome = h.Wait();
+      ASSERT_EQ(outcome.state, runtime::JobState::kDone) << outcome.error;
+      ASSERT_TRUE(oracle.count(outcome.query.epoch));
+      ASSERT_EQ(outcome.query.triangles, oracle[outcome.query.epoch])
+          << "epoch " << outcome.query.epoch;
+      ++answered;
+    }
+  }
+  EXPECT_GT(answered, 0u);
+  EXPECT_EQ(baseline::CountTrianglesReference(session->Snapshot()),
+            session->triangles());
+}
+
+}  // namespace
+}  // namespace tcim

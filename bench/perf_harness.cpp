@@ -6,8 +6,10 @@
 // and the legacy dispatch-per-slice-pair formulation it replaced, so
 // the batching win stays measured, not assumed. Every count is
 // cross-checked against the CPU baseline and the results land in a
-// machine-readable BENCH_kernels.json (schema_version 2; see
-// docs/KERNELS.md for the schema and the regression workflow).
+// machine-readable BENCH_kernels.json (schema_version 3; see
+// docs/KERNELS.md for the schema and the regression workflow). Every
+// dump is stamped with run metadata — UTC date, compiler, TCIM_SCALE,
+// active kernel backend — so archived JSONs stay attributable.
 //
 // Usage:
 //   perf_harness [--out FILE] [--print-best] [--check]
@@ -37,6 +39,7 @@
 #include "bitmatrix/sliced_matrix.h"
 #include "core/bitwise_tc.h"
 #include "graph/orientation.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -320,9 +323,14 @@ void WriteJson(const std::string& path,
   }
   os << "{\n";
   os << "  \"bench\": \"kernels\",\n";
-  os << "  \"schema_version\": 2,\n";
+  os << "  \"schema_version\": 3,\n";
   os << "  \"scale\": " << util::WorkloadScale(0.25) << ",\n";
   os << "  \"seed\": " << util::BaseSeed() << ",\n";
+  // v3: run-attribution stamp (obs::CollectRunMetadata) + the backend
+  // the host process actually ran with (TCIM_KERNEL-sensitive).
+  os << "  \"run\": {" << obs::RunMetadataJsonFields()
+     << ",\"kernel_backend\":\"" << bit::ToString(bit::ActiveBackend())
+     << "\"},\n";
   os << "  \"machine\": {\n";
   os << "    \"compiled_backends\": [";
   bool first = true;

@@ -10,14 +10,18 @@
 // cluster count must equal the 1-bank count.
 //
 // Knobs: TCIM_SCALE / TCIM_SEED / TCIM_DATA_DIR as in every bench;
-// TCIM_BANKS_MAX (default 8) caps the sweep.
+// TCIM_BANKS_MAX (default 8) caps the sweep. --trace FILE (or
+// TCIM_TRACE=FILE) captures a Chrome trace of the per-bank shard
+// spans — load it in Perfetto to see the fan-out and the imbalance.
 #include <algorithm>
 #include <cstdint>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/accelerator.h"
+#include "obs/trace.h"
 #include "runtime/bank_pool.h"
 #include "util/env.h"
 #include "util/timer.h"
@@ -35,7 +39,18 @@ runtime::BankPoolConfig PoolConfig(std::uint32_t banks) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      obs::StartTracing(argv[++i]);
+    } else {
+      std::cout << "usage: scaling_banks [--trace FILE]   "
+                   "(TCIM_TRACE=FILE works too)\n";
+      return 2;
+    }
+  }
+
   bench::PrintHeader(
       "Bank scaling: critical-path latency vs bank count",
       "Degree-balanced sharding across N parallel TCIM banks; latency is "
@@ -96,5 +111,9 @@ int main() {
   std::cout << "\n  NB: speedup tops out below the bank count when shards\n"
             << "  lose cross-row column reuse (each bank's cache starts\n"
             << "  cold) or when one heavy row dominates a shard.\n";
+  if (obs::TraceEnabled()) {
+    obs::StopTracing();
+    std::cout << "  trace written to " << obs::TracePath() << "\n";
+  }
   return 0;
 }

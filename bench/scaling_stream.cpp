@@ -19,7 +19,9 @@
 // recount cost, so the counter must route the batch to the snapshot
 // pipeline itself (the "path" cell asserts it did).
 //
-// Knobs: TCIM_SCALE / TCIM_SEED / TCIM_DATA_DIR as in every bench.
+// Knobs: TCIM_SCALE / TCIM_SEED / TCIM_DATA_DIR as in every bench;
+// --trace FILE (or TCIM_TRACE=FILE) captures a Chrome trace of the
+// stream.apply/stream.publish spans and the epoch lifecycles.
 // A second section measures mixed read/write serving on the com-DBLP
 // stand-in: query latency through the scheduler on an idle session vs
 // the same traffic while a writer streams update batches. Snapshot
@@ -41,6 +43,7 @@
 #include "baseline/cpu_tc.h"
 #include "bench_common.h"
 #include "graph/datasets.h"
+#include "obs/trace.h"
 #include "runtime/aggregate.h"
 #include "runtime/scheduler.h"
 #include "runtime/stream_session.h"
@@ -209,7 +212,18 @@ bool RunMixedMode() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      obs::StartTracing(argv[++i]);
+    } else {
+      std::cout << "usage: scaling_stream [--trace FILE]   "
+                   "(TCIM_TRACE=FILE works too)\n";
+      return 2;
+    }
+  }
+
   bench::PrintHeader(
       "Stream scaling: incremental vs recount latency per update batch",
       "Mixed insert/delete batches sized as a fraction of the live edge "
@@ -321,5 +335,9 @@ int main() {
                "fired.\n";
 
   if (!RunMixedMode()) return 1;
+  if (obs::TraceEnabled()) {
+    obs::StopTracing();
+    std::cout << "  trace written to " << obs::TracePath() << "\n";
+  }
   return 0;
 }

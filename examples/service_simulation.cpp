@@ -19,6 +19,8 @@
 //
 //   service_simulation --tenants 3 --queries 20 --batches 15 \
 //                      --banks 4 --policy priority --max-pending 64
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <iostream>
@@ -31,7 +33,9 @@
 
 #include "baseline/cpu_tc.h"
 #include "graph/generators.h"
+#include "obs/metrics.h"
 #include "runtime/aggregate.h"
+#include "runtime/metrics.h"
 #include "runtime/scheduler.h"
 #include "runtime/stream_session.h"
 #include "stream/edge_delta.h"
@@ -52,6 +56,7 @@ struct Options {
   std::uint64_t max_pending = 0;  // 0 = unlimited
   std::string policy = "priority";
   std::uint64_t seed = 7;
+  std::uint32_t stats_interval_ms = 250;  // 0 = no periodic stats line
 };
 
 bool Parse(int argc, char** argv, Options& opt) {
@@ -75,10 +80,13 @@ bool Parse(int argc, char** argv, Options& opt) {
       opt.policy = v;
     } else if (arg == "--seed" && (v = next())) {
       opt.seed = std::stoull(v);
+    } else if (arg == "--stats-interval-ms" && (v = next())) {
+      opt.stats_interval_ms = static_cast<std::uint32_t>(std::stoul(v));
     } else {
       std::cout << "usage: service_simulation [--tenants N] [--queries N] "
                    "[--batches N] [--banks N] [--max-pending N] "
-                   "[--policy fifo|priority] [--seed N]\n";
+                   "[--policy fifo|priority] [--seed N] "
+                   "[--stats-interval-ms N (0 disables)]\n";
       return false;
     }
   }
@@ -146,6 +154,34 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Monitor thread: a periodic one-line scrape of the live registry —
+  // queue depths, throughput, shed/coalesce counts, epochs alive —
+  // the same counters `tcim_cli --metrics-json` exports, sampled while
+  // the traffic is actually in flight.
+  std::atomic<bool> traffic_done{false};
+  std::thread monitor;
+  if (opt.stats_interval_ms > 0) {
+    monitor = std::thread([&] {
+      const runtime::SchedulerMetrics& sched = runtime::SchedulerMetrics::Get();
+      const runtime::EpochMetrics& epoch = runtime::EpochMetrics::Get();
+      util::Timer clock;
+      while (!traffic_done.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(opt.stats_interval_ms));
+        if (traffic_done.load(std::memory_order_relaxed)) break;
+        std::cout << "  [stats " << util::FormatSeconds(clock.ElapsedSeconds())
+                  << "] depth policy=" << sched.policy_depth.Value()
+                  << " update=" << sched.update_depth.Value()
+                  << " | done queries=" << sched.query.done.Value()
+                  << " updates=" << sched.update.done.Value()
+                  << " | coalesced=" << sched.coalesced.Value()
+                  << " shed=" << sched.rejected.Value()
+                  << " | epochs live=" << epoch.live.Value()
+                  << " published=" << epoch.published.Value() << "\n";
+      }
+    });
+  }
+
   // Writer thread: streams every batch through the update lane.
   std::vector<runtime::JobHandle> updates;
   updates.reserve(opt.batches);
@@ -190,6 +226,8 @@ int main(int argc, char** argv) {
   writer.join();
   for (std::thread& t : tenant_threads) t.join();
   for (const runtime::JobHandle& h : updates) (void)h.Wait();
+  traffic_done.store(true, std::memory_order_relaxed);
+  if (monitor.joinable()) monitor.join();
   scheduler->Shutdown();
 
   // Sequential replay oracle: epoch e -> exact triangle total. Only
@@ -246,5 +284,12 @@ int main(int argc, char** argv) {
   std::cout << "  verification: " << mismatches
             << " query mismatches vs sequential replay; final state "
             << (final_ok ? "exact" : "WRONG") << " vs CPU baseline\n";
+
+  // Final scrape of the whole registry — the catalog is documented in
+  // docs/OBSERVABILITY.md; TouchServingMetrics keeps the dump complete
+  // even for metric groups this run never exercised.
+  runtime::TouchServingMetrics();
+  std::cout << "\n  final metrics:\n";
+  obs::Registry::Global().WriteText(std::cout);
   return (mismatches == 0 && final_ok) ? 0 : 1;
 }

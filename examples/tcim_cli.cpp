@@ -30,7 +30,9 @@
 #include "core/accelerator.h"
 #include "graph/datasets.h"
 #include "graph/io.h"
+#include "obs/metrics.h"
 #include "runtime/bank_pool.h"
+#include "runtime/metrics.h"
 #include "runtime/partitioner.h"
 #include "runtime/stream_session.h"
 #include "stream/edge_delta.h"
@@ -57,6 +59,7 @@ struct Options {
   std::string stream;
   double recount_fraction = 0.01;
   bool json = false;
+  bool metrics_json = false;
   bool verify = true;
 };
 
@@ -88,6 +91,9 @@ void Usage() {
       "  --recount-frac X    fall back to a full recount when a batch exceeds\n"
       "                      X * edges normalized ops (default 0.01)\n"
       "  --json              machine-readable output\n"
+      "  --metrics-json      append the obs registry scrape (scheduler/epoch/\n"
+      "                      store/stream metrics) as one JSON object on its\n"
+      "                      own line after the report\n"
       "  --no-verify         skip the CPU cross-check\n";
 }
 
@@ -155,6 +161,8 @@ bool Parse(int argc, char** argv, Options& opt) {
       opt.recount_fraction = std::stod(v);
     } else if (arg == "--json") {
       opt.json = true;
+    } else if (arg == "--metrics-json") {
+      opt.metrics_json = true;
     } else if (arg == "--no-verify") {
       opt.verify = false;
     } else if (arg == "--help" || arg == "-h") {
@@ -218,6 +226,19 @@ int EmitReport(bool json, const ReportCommon& c, JsonMiddle&& json_middle,
     t.Print(std::cout);
   }
   return c.verified ? 0 : 1;
+}
+
+/// Shared tail of every successful run path: under --metrics-json,
+/// scrape the process-wide obs registry to stdout as one JSON line.
+/// TouchServingMetrics() first, so paths that never built a Scheduler
+/// or StreamSession still report the full catalog (zero-valued).
+int Finish(const Options& opt, int rc) {
+  if (opt.metrics_json) {
+    runtime::TouchServingMetrics();
+    obs::Registry::Global().WriteJson(std::cout);
+    std::cout << "\n";
+  }
+  return rc;
 }
 
 }  // namespace
@@ -350,7 +371,7 @@ int main(int argc, char** argv) {
                 << (opt.verify ? (verified ? "yes" : "MISMATCH") : "skipped")
                 << "\n";
     }
-    return verified ? 0 : 1;
+    return Finish(opt, verified ? 0 : 1);
   }
 
   if (opt.banks > 1) {
@@ -385,7 +406,7 @@ int main(int argc, char** argv) {
       runtime::PrintPartitionTable(std::cout, r.partition);
       std::cout << "\n";
     }
-    return EmitReport(
+    return Finish(opt, EmitReport(
         opt.json, common,
         [&](std::ostream& os) {
           os << ",\"banks\":" << r.num_banks() << ",\"partition\":\""
@@ -410,7 +431,7 @@ int main(int argc, char** argv) {
           t.AddRow({"cluster latency (serial sum)",
                     util::FormatSeconds(r.serial_sum_seconds)});
           t.AddRow({"bank speedup", TablePrinter::Ratio(r.Speedup(), 2)});
-        });
+        }));
   }
 
   const core::TcimAccelerator accel{config};
@@ -425,7 +446,7 @@ int main(int argc, char** argv) {
                       opt.verify,
                       !opt.verify || baseline::CountTrianglesReference(g) ==
                                          r.triangles};
-  return EmitReport(
+  return Finish(opt, EmitReport(
       opt.json, common,
       [&](std::ostream& os) {
         os << ",\"and_ops\":" << r.exec.valid_pairs
@@ -447,5 +468,5 @@ int main(int argc, char** argv) {
                   util::FormatSeconds(r.perf.serial_seconds)});
         t.AddRow({"TCIM latency (parallel)",
                   util::FormatSeconds(r.perf.parallel_seconds)});
-      });
+      }));
 }

@@ -23,6 +23,21 @@ constexpr std::size_t SlabCountFor(std::uint32_t num_vectors) noexcept {
 
 }  // namespace
 
+StoreMetrics& StoreMetrics::Get() {
+  static StoreMetrics* metrics = [] {
+    obs::Registry& reg = obs::Registry::Global();
+    return new StoreMetrics{
+        reg.GetCounter("store.apply.batches_total"),
+        reg.GetCounter("store.apply.bits_patched_total"),
+        reg.GetCounter("store.apply.slices_inserted_total"),
+        reg.GetCounter("store.apply.slices_removed_total"),
+        reg.GetCounter("store.apply.slabs_cow_cloned_total"),
+        reg.GetCounter("store.apply.recompactions_total"),
+    };
+  }();
+  return *metrics;
+}
+
 std::shared_ptr<SlicedStore::Slab> SlicedStore::MakeEmptySlab() {
   auto slab = std::make_shared<Slab>();
   slab->offsets.assign(kSlabVectors + 1, 0);
@@ -399,6 +414,15 @@ PatchStats SlicedStore::ApplyEdits(std::span<const SliceEdit> edits,
   for (std::size_t s = 0; s < slabs_.size(); ++s) {
     slab_base_[s + 1] = slab_base_[s] + slabs_[s]->indices.size();
   }
+
+  // Registry accounting: once per batch, never per edit.
+  StoreMetrics& metrics = StoreMetrics::Get();
+  metrics.apply_batches.Increment();
+  metrics.bits_patched.Add(stats.bits_patched);
+  metrics.slices_inserted.Add(stats.slices_inserted);
+  metrics.slices_removed.Add(stats.slices_removed);
+  metrics.slabs_cow_cloned.Add(stats.slabs_cow_cloned);
+  if (stats.rebuilt) metrics.recompactions.Increment();
   return stats;
 }
 

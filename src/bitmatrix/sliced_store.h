@@ -42,8 +42,25 @@
 #include "bitmatrix/bitvector.h"
 #include "bitmatrix/kernel_backend.h"
 #include "bitmatrix/popcount.h"
+#include "obs/metrics.h"
 
 namespace tcim::bit {
+
+/// store.* metrics group — write-path accounting ApplyEdits folds
+/// into the process registry once per batch (never per edit). The
+/// matching read-side gauges (heap bytes, shared-slab ratio) live
+/// with the epoch publisher in runtime::StreamMetrics, which has the
+/// two store copies to compare. See docs/OBSERVABILITY.md.
+struct StoreMetrics {
+  obs::Counter& apply_batches;      // ApplyEdits calls
+  obs::Counter& bits_patched;       // in-place word flips
+  obs::Counter& slices_inserted;    // structural inserts
+  obs::Counter& slices_removed;     // structural removals
+  obs::Counter& slabs_cow_cloned;   // shared slabs copied before write
+  obs::Counter& recompactions;      // batches that rebuilt >= 1 slab
+
+  static StoreMetrics& Get();
+};
 
 /// One single-bit mutation of a stored vector (streaming updates).
 /// `set == true` sets the bit at `position`, `false` clears it. Edits

@@ -1,0 +1,374 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "util/env.h"
+
+namespace tcim::obs {
+
+namespace {
+
+// atomic<double> fetch_add is C++20 but spotty across toolchains —
+// spell the CAS loop so every supported compiler takes the same path.
+void AtomicAdd(std::atomic<double>& target, double delta) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>& target, double value) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (value < cur && !target.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double value) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (value > cur && !target.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+constexpr double kEmptyMin = std::numeric_limits<double>::infinity();
+constexpr double kEmptyMax = -std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+Histogram::Histogram()
+    : count_(0), sum_(0.0), min_(kEmptyMin), max_(kEmptyMax),
+      buckets_(kNumBuckets) {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+std::uint32_t Histogram::BucketIndex(double value) noexcept {
+  if (!(value > 0.0) || std::isinf(value)) {
+    // <= 0, NaN: underflow bucket. +inf clamps below via kMaxExponent.
+    if (std::isinf(value) && value > 0.0) return kNumBuckets - 1;
+    return 0;
+  }
+  int exp = 0;
+  const double mantissa = std::frexp(value, &exp);  // value = m * 2^exp, m in [0.5, 1)
+  if (exp <= kMinExponent) return 0;
+  if (exp > kMaxExponent) return kNumBuckets - 1;
+  // Octave [2^(exp-1), 2^exp) split into kSubBuckets linear cells.
+  const auto sub = static_cast<std::uint32_t>(
+      (mantissa - 0.5) * 2.0 * static_cast<double>(kSubBuckets));
+  const auto octave = static_cast<std::uint32_t>(exp - 1 - kMinExponent);
+  return 1 + octave * kSubBuckets + std::min(sub, kSubBuckets - 1);
+}
+
+double Histogram::BucketRepresentative(std::uint32_t index) noexcept {
+  if (index == 0) return 0.0;
+  const std::uint32_t octave = (index - 1) / kSubBuckets;
+  const std::uint32_t sub = (index - 1) % kSubBuckets;
+  const double lo = std::ldexp(1.0, kMinExponent + static_cast<int>(octave));
+  const double width = lo / static_cast<double>(kSubBuckets);
+  return lo + (static_cast<double>(sub) + 0.5) * width;
+}
+
+void Histogram::Observe(double value) noexcept {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, value);
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+}
+
+double Histogram::Mean() const noexcept {
+  const std::uint64_t n = Count();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+double Histogram::Min() const noexcept {
+  const double v = min_.load(std::memory_order_relaxed);
+  return v == kEmptyMin ? 0.0 : v;
+}
+
+double Histogram::Max() const noexcept {
+  const double v = max_.load(std::memory_order_relaxed);
+  return v == kEmptyMax ? 0.0 : v;
+}
+
+double Histogram::Percentile(double p) const noexcept {
+  const std::uint64_t n = Count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest rank: smallest k with cumulative count >= ceil(p/100 * n).
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(p / 100.0 * static_cast<double>(n))));
+  std::uint64_t cumulative = 0;
+  for (std::uint32_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) return BucketRepresentative(i);
+  }
+  return Max();  // racing writers between Count() and the scan
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // map keeps scrape output sorted and node addresses stable.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& Registry::Global() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Impl& Registry::impl() const {
+  // Leaked on purpose: worker threads may bump cached metric
+  // references during late thread exit, after static destruction.
+  static Impl* instance = new Impl();
+  return *instance;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.counters.find(name);
+  if (it == im.counters.end()) {
+    it = im.counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.gauges.find(name);
+  if (it == im.gauges.end()) {
+    it = im.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.histograms.find(name);
+  if (it == im.histograms.end()) {
+    it = im.histograms
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<MetricSample> Registry::Snapshot() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::vector<MetricSample> out;
+  out.reserve(im.counters.size() + im.gauges.size() + im.histograms.size());
+  for (const auto& [name, c] : im.counters) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kCounter;
+    s.count = c->Value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : im.gauges) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kGauge;
+    s.sum = g->Value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : im.histograms) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kHistogram;
+    s.count = h->Count();
+    s.sum = h->Sum();
+    s.min = h->Min();
+    s.max = h->Max();
+    s.p50 = h->Percentile(50);
+    s.p90 = h->Percentile(90);
+    s.p99 = h->Percentile(99);
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+namespace {
+
+void WriteDouble(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "0";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void Registry::WriteJson(std::ostream& os) const {
+  const std::vector<MetricSample> samples = Snapshot();
+  os << "{\"meta\":{" << RunMetadataJsonFields() << "}";
+  const char* kind_keys[] = {"counters", "gauges", "histograms"};
+  for (int k = 0; k < 3; ++k) {
+    os << ",\"" << kind_keys[k] << "\":{";
+    bool first = true;
+    for (const MetricSample& s : samples) {
+      if (static_cast<int>(s.kind) != k) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << JsonEscape(s.name) << "\":";
+      switch (s.kind) {
+        case MetricSample::Kind::kCounter:
+          os << s.count;
+          break;
+        case MetricSample::Kind::kGauge:
+          WriteDouble(os, s.sum);
+          break;
+        case MetricSample::Kind::kHistogram:
+          os << "{\"count\":" << s.count << ",\"sum\":";
+          WriteDouble(os, s.sum);
+          os << ",\"min\":";
+          WriteDouble(os, s.min);
+          os << ",\"max\":";
+          WriteDouble(os, s.max);
+          os << ",\"p50\":";
+          WriteDouble(os, s.p50);
+          os << ",\"p90\":";
+          WriteDouble(os, s.p90);
+          os << ",\"p99\":";
+          WriteDouble(os, s.p99);
+          os << "}";
+          break;
+      }
+    }
+    os << "}";
+  }
+  os << "}";
+}
+
+void Registry::WriteText(std::ostream& os, std::string_view prefix) const {
+  for (const MetricSample& s : Snapshot()) {
+    if (!prefix.empty() &&
+        std::string_view(s.name).substr(0, prefix.size()) != prefix) {
+      continue;
+    }
+    os << "  " << s.name << " = ";
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        os << s.count;
+        break;
+      case MetricSample::Kind::kGauge:
+        WriteDouble(os, s.sum);
+        break;
+      case MetricSample::Kind::kHistogram:
+        os << "n=" << s.count << " mean=";
+        WriteDouble(os, s.count == 0
+                            ? 0.0
+                            : s.sum / static_cast<double>(s.count));
+        os << " p50=";
+        WriteDouble(os, s.p50);
+        os << " p90=";
+        WriteDouble(os, s.p90);
+        os << " p99=";
+        WriteDouble(os, s.p99);
+        os << " max=";
+        WriteDouble(os, s.max);
+        break;
+    }
+    os << "\n";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Run metadata
+
+RunMetadata CollectRunMetadata() {
+  RunMetadata meta;
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+#if defined(_WIN32)
+  gmtime_s(&utc, &now);
+#else
+  gmtime_r(&now, &utc);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  meta.date = buf;
+#if defined(__clang__)
+  meta.compiler = "clang " + std::to_string(__clang_major__) + "." +
+                  std::to_string(__clang_minor__) + "." +
+                  std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  meta.compiler = "gcc " + std::to_string(__GNUC__) + "." +
+                  std::to_string(__GNUC_MINOR__) + "." +
+                  std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  meta.compiler = "unknown";
+#endif
+  meta.scale = util::WorkloadScale();
+  return meta;
+}
+
+std::string RunMetadataJsonFields() {
+  const RunMetadata meta = CollectRunMetadata();
+  std::ostringstream os;
+  os << "\"date\":\"" << JsonEscape(meta.date) << "\",\"compiler\":\""
+     << JsonEscape(meta.compiler) << "\",\"scale\":";
+  WriteDouble(os, meta.scale);
+  return os.str();
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace tcim::obs

@@ -1,0 +1,164 @@
+// Process-wide metrics registry: named counters, gauges, and
+// log2-bucketed histograms with a lock-free record path.
+//
+// Design contract (docs/OBSERVABILITY.md has the operator view):
+//   - Recording is wait-free: every metric is a handful of relaxed
+//     atomics. No locks, no allocation, no syscalls on the hot path.
+//   - Metric objects are created once (registry mutex held only at
+//     first lookup) and never destroyed, so call sites cache a
+//     reference in a function-local static and pay one map lookup per
+//     process lifetime.
+//   - Histograms bucket values into log2 octaves subdivided into
+//     kSubBuckets linear sub-buckets (HDR style), so percentiles
+//     computed at scrape time carry a bounded relative error of
+//     1/(2*kSubBuckets) while count/sum/min/max stay exact.
+//   - Scrapes (Snapshot / WriteJson / WriteText) read the atomics
+//     without stopping writers; a snapshot is per-metric consistent,
+//     not globally consistent, which is fine for monitoring.
+//
+// This layer sits below bitmatrix/stream/runtime and depends only on
+// the standard library.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tcim::obs {
+
+// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void Add(std::uint64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() noexcept { Add(1); }
+  std::uint64_t Value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Last-write-wins floating point level (queue depth, bytes, ratios).
+class Gauge {
+ public:
+  void Set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  double Value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Log2-octave histogram over non-negative doubles (seconds, bytes,
+// counts). Values below 2^kMinExponent land in a dedicated underflow
+// bucket whose representative is 0; values at or above 2^kMaxExponent
+// clamp into the top bucket.
+class Histogram {
+ public:
+  static constexpr int kMinExponent = -34;  // ~58 ps when recording seconds
+  static constexpr int kMaxExponent = 6;    // 64 s
+  static constexpr std::uint32_t kSubBuckets = 64;
+  static constexpr std::uint32_t kNumBuckets =
+      1 + static_cast<std::uint32_t>(kMaxExponent - kMinExponent) * kSubBuckets;
+
+  Histogram();
+
+  void Observe(double value) noexcept;
+
+  std::uint64_t Count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double Sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const noexcept;
+  double Min() const noexcept;  // 0 when empty
+  double Max() const noexcept;  // 0 when empty
+
+  // Nearest-rank percentile over the bucketed distribution: returns
+  // the representative (midpoint) of the bucket holding the rank'th
+  // smallest sample. Relative error <= 1/(2*kSubBuckets) vs the exact
+  // sample. p in [0, 100]; returns 0 when empty.
+  double Percentile(double p) const noexcept;
+
+  // Index of the bucket a value falls into — exposed so tests can
+  // assert the error bound directly.
+  static std::uint32_t BucketIndex(double value) noexcept;
+  static double BucketRepresentative(std::uint32_t index) noexcept;
+
+ private:
+  std::atomic<std::uint64_t> count_;
+  std::atomic<double> sum_;
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+};
+
+struct MetricSample {
+  std::string name;
+  enum class Kind { kCounter, kGauge, kHistogram } kind;
+  // Counter: value in `count`. Gauge: value in `sum`.
+  // Histogram: all fields populated.
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+// Process-wide named metric registry. Get* registers on first use and
+// returns a reference that stays valid for the process lifetime.
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  // Scrape every registered metric, sorted by name.
+  std::vector<MetricSample> Snapshot() const;
+
+  // {"meta":{...run metadata...},"counters":{...},"gauges":{...},
+  //  "histograms":{name:{count,sum,min,max,p50,p90,p99}}}
+  void WriteJson(std::ostream& os) const;
+
+  // Aligned "name value" lines for humans; when `prefix` is non-empty
+  // only metrics whose name starts with it are printed.
+  void WriteText(std::ostream& os, std::string_view prefix = {}) const;
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+// Run-attribution metadata shared by every dump this process writes
+// (metrics JSON, trace files, BENCH_kernels.json): wall-clock UTC
+// date, compiler id, and the TCIM_SCALE in effect.
+struct RunMetadata {
+  std::string date;      // ISO-8601 UTC, e.g. "2026-08-08T12:34:56Z"
+  std::string compiler;  // e.g. "gcc 12.2.0"
+  double scale = 1.0;    // util::WorkloadScale() equivalent (TCIM_SCALE)
+};
+
+RunMetadata CollectRunMetadata();
+
+// The same metadata pre-rendered as JSON object *members* (no braces):
+// `"date":"...","compiler":"...","scale":1`
+std::string RunMetadataJsonFields();
+
+// Minimal JSON string escaping for metric names / metadata values.
+std::string JsonEscape(std::string_view s);
+
+}  // namespace tcim::obs

@@ -1,0 +1,261 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/env.h"
+
+namespace tcim::obs {
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+namespace {
+
+using internal::TraceEvent;
+
+// A thread buffer this full drains into the collector.
+constexpr std::size_t kFlushThreshold = 4096;
+// Collector hard cap: beyond this, events are counted as dropped
+// instead of growing without bound. ~100 MB worst case.
+constexpr std::size_t kMaxCollectedEvents = std::size_t{1} << 20;
+
+// The collector is leaked on purpose: thread-exit flushes from
+// late-dying worker threads must never race static destruction.
+class Collector {
+ public:
+  static Collector& Get() {
+    static Collector* instance = new Collector();
+    return *instance;
+  }
+
+  void Start(const std::string& path) {
+    bool register_atexit = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (internal::g_trace_enabled.load(std::memory_order_relaxed)) return;
+      if (!atexit_registered_) {
+        atexit_registered_ = true;
+        register_atexit = true;
+      }
+      // A fresh Start begins a fresh capture: drop anything the
+      // previous capture (already written by Stop) left behind.
+      path_ = path;
+      events_.clear();
+      dropped_.store(0, std::memory_order_relaxed);
+      dirty_ = false;
+      base_ = std::chrono::steady_clock::now();
+      internal::g_trace_enabled.store(true, std::memory_order_relaxed);
+    }
+    if (register_atexit) {
+      std::atexit([] { Collector::Get().WriteAtExit(); });
+    }
+  }
+
+  void Stop() {
+    internal::g_trace_enabled.store(false, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!path_.empty()) WriteFileLocked();
+  }
+
+  void WriteAtExit() {
+    internal::g_trace_enabled.store(false, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dirty_ && !path_.empty()) WriteFileLocked();
+  }
+
+  void Absorb(std::vector<TraceEvent>&& events) {
+    if (events.empty()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (TraceEvent& e : events) {
+      if (events_.size() >= kMaxCollectedEvents) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      events_.push_back(std::move(e));
+    }
+    dirty_ = true;
+  }
+
+  std::uint64_t NowNs() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - base_)
+            .count());
+  }
+
+  std::string Path() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return path_;
+  }
+
+  std::vector<TraceEvent> SnapshotEvents() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+
+  std::uint64_t Dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Collector() : base_(std::chrono::steady_clock::now()) {}
+
+  void WriteFileLocked() {
+    std::ofstream out(path_, std::ios::trunc);
+    if (!out) return;
+    out << "{\"displayTimeUnit\":\"ms\",\"metadata\":{"
+        << RunMetadataJsonFields() << ",\"tool\":\"tcim\",\"dropped_events\":"
+        << Dropped() << "},\"traceEvents\":[";
+    char buf[64];
+    bool first = true;
+    for (const TraceEvent& e : events_) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"name\":\"" << e.name << "\",\"cat\":\"" << e.cat
+          << "\",\"ph\":\"" << e.phase << "\",\"pid\":1,\"tid\":" << e.tid;
+      std::snprintf(buf, sizeof(buf), "%.3f",
+                    static_cast<double>(e.ts_ns) / 1000.0);
+      out << ",\"ts\":" << buf;
+      if (e.phase == 'X') {
+        std::snprintf(buf, sizeof(buf), "%.3f",
+                      static_cast<double>(e.dur_ns) / 1000.0);
+        out << ",\"dur\":" << buf;
+      } else if (e.phase == 'b' || e.phase == 'e') {
+        out << ",\"id\":\"" << e.id << "\"";
+      } else if (e.phase == 'i') {
+        out << ",\"s\":\"t\"";
+      }
+      if (!e.args.empty()) out << ",\"args\":{" << e.args << "}";
+      out << "}";
+    }
+    out << "]}\n";
+    dirty_ = false;
+  }
+
+  std::mutex mu_;
+  std::string path_;
+  std::chrono::steady_clock::time_point base_;
+  std::vector<TraceEvent> events_;
+  std::atomic<std::uint64_t> dropped_{0};
+  bool dirty_ = false;
+  bool atexit_registered_ = false;
+};
+
+struct ThreadBuffer {
+  ThreadBuffer() { events.reserve(kFlushThreshold); }
+  ~ThreadBuffer() { Flush(); }
+
+  void Flush() {
+    Collector::Get().Absorb(std::move(events));
+    events.clear();
+    events.reserve(kFlushThreshold);
+  }
+
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = [] {
+    static std::atomic<std::uint32_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+  }();
+};
+
+ThreadBuffer& LocalBuffer() {
+  thread_local ThreadBuffer buffer;
+  return buffer;
+}
+
+// TCIM_TRACE=file.json enables capture before main() runs. trace.o is
+// pulled into every binary that references TraceEnabled(), so any
+// instrumented program honors the variable without extra wiring.
+const bool g_env_init = [] {
+  const std::string path = util::EnvString("TCIM_TRACE", "");
+  if (!path.empty()) StartTracing(path);
+  return true;
+}();
+
+}  // namespace
+
+namespace internal {
+
+std::uint64_t NowNs() noexcept { return Collector::Get().NowNs(); }
+
+void Emit(TraceEvent event) noexcept {
+  ThreadBuffer& buffer = LocalBuffer();
+  event.tid = buffer.tid;
+  buffer.events.push_back(std::move(event));
+  if (buffer.events.size() >= kFlushThreshold) buffer.Flush();
+}
+
+}  // namespace internal
+
+void StartTracing(const std::string& path) { Collector::Get().Start(path); }
+
+void StopTracing() {
+  if (!TracePath().empty()) LocalBuffer().Flush();
+  Collector::Get().Stop();
+}
+
+std::string TracePath() { return Collector::Get().Path(); }
+
+void TraceSpan::Finish() noexcept {
+  internal::TraceEvent e;
+  e.name = name_;
+  e.cat = cat_;
+  e.phase = 'X';
+  e.ts_ns = start_ns_;
+  e.dur_ns = internal::NowNs() - start_ns_;
+  e.args = std::move(args_);
+  internal::Emit(std::move(e));
+}
+
+void TraceInstant(const char* name, const char* cat, std::string args) {
+  if (!TraceEnabled()) return;
+  internal::TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = 'i';
+  e.ts_ns = internal::NowNs();
+  e.args = std::move(args);
+  internal::Emit(std::move(e));
+}
+
+void TraceAsyncBegin(const char* name, const char* cat, std::uint64_t id,
+                     std::string args) {
+  if (!TraceEnabled()) return;
+  internal::TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = 'b';
+  e.id = id;
+  e.ts_ns = internal::NowNs();
+  e.args = std::move(args);
+  internal::Emit(std::move(e));
+}
+
+void TraceAsyncEnd(const char* name, const char* cat, std::uint64_t id,
+                   std::string args) {
+  if (!TraceEnabled()) return;
+  internal::TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = 'e';
+  e.id = id;
+  e.ts_ns = internal::NowNs();
+  e.args = std::move(args);
+  internal::Emit(std::move(e));
+}
+
+std::vector<internal::TraceEvent> TraceSnapshotForTest() {
+  LocalBuffer().Flush();
+  return Collector::Get().SnapshotEvents();
+}
+
+std::uint64_t TraceDroppedForTest() { return Collector::Get().Dropped(); }
+
+}  // namespace tcim::obs

@@ -1,0 +1,110 @@
+// Chrome trace-event span tracing, gated behind TCIM_TRACE.
+//
+// When TCIM_TRACE=file.json is set (or StartTracing(path) is called),
+// TraceSpan/TraceInstant/TraceAsync* record events into a bounded
+// per-thread buffer; buffers drain into a process-wide collector when
+// full and when their thread exits, and the collector writes a Chrome
+// trace-event JSON file ({"traceEvents":[...]}) loadable in Perfetto
+// or chrome://tracing. The file is written by StopTracing() and again
+// at process exit if new events arrived after the explicit stop — so
+// binaries that only set the env var still get a complete capture
+// once their worker threads have joined.
+//
+// When tracing is off, every emit site costs one relaxed atomic load
+// and a branch: no clock read, no allocation, no buffer touch.
+//
+// Name/category arguments must be string literals (or otherwise
+// outlive the process): events store the pointers, not copies.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tcim::obs {
+
+namespace internal {
+extern std::atomic<bool> g_trace_enabled;
+
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  char phase = 'X';        // 'X' complete, 'i' instant, 'b'/'e' async
+  std::uint32_t tid = 0;
+  std::uint64_t ts_ns = 0;  // since trace start
+  std::uint64_t dur_ns = 0; // 'X' only
+  std::uint64_t id = 0;     // async pairing key
+  std::string args;         // pre-rendered JSON members ("k":v,...) or empty
+};
+
+void Emit(TraceEvent event) noexcept;
+std::uint64_t NowNs() noexcept;
+}  // namespace internal
+
+// The one check hot paths pay when tracing is disabled.
+inline bool TraceEnabled() noexcept {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+// Begin capturing to `path`. Idempotent while already tracing (the
+// first path wins). Called automatically at static-init time when
+// TCIM_TRACE names a file.
+void StartTracing(const std::string& path);
+
+// Flush the calling thread's buffer, write the JSON file, and disable
+// capture. Safe to call when tracing never started. Buffers of threads
+// still alive at this point flush on their exit and are folded into
+// the process-exit rewrite of the same file.
+void StopTracing();
+
+// Destination path of the active (or last) capture; empty when
+// tracing was never started.
+std::string TracePath();
+
+// RAII complete event ('X') on the calling thread: [ctor, dtor].
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* cat) noexcept
+      : TraceSpan(name, cat, std::string()) {}
+  TraceSpan(const char* name, const char* cat, std::string args) noexcept
+      : name_(name), cat_(cat), active_(TraceEnabled()) {
+    if (active_) {
+      args_ = std::move(args);
+      start_ns_ = internal::NowNs();
+    }
+  }
+  ~TraceSpan() {
+    if (active_) Finish();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void Finish() noexcept;
+  const char* name_;
+  const char* cat_;
+  std::string args_;
+  std::uint64_t start_ns_ = 0;
+  bool active_;
+};
+
+// Zero-duration marker ('i', thread scope).
+void TraceInstant(const char* name, const char* cat,
+                  std::string args = std::string());
+
+// Async begin/end pair ('b'/'e') keyed by (cat, id): spans that cross
+// threads, e.g. a job's submit -> done lifetime.
+void TraceAsyncBegin(const char* name, const char* cat, std::uint64_t id,
+                     std::string args = std::string());
+void TraceAsyncEnd(const char* name, const char* cat, std::uint64_t id,
+                   std::string args = std::string());
+
+// Test hooks: copy of everything flushed to the collector so far
+// (call after joining emitter threads), and total events dropped by
+// the bound. Not part of the operator surface.
+std::vector<internal::TraceEvent> TraceSnapshotForTest();
+std::uint64_t TraceDroppedForTest();
+
+}  // namespace tcim::obs

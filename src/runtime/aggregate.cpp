@@ -147,40 +147,16 @@ std::string Millis(double seconds) {
 
 }  // namespace
 
-void LatencyRecorder::Record(double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
-  samples_.push_back(seconds);
-  sum_ += seconds;
-  max_ = std::max(max_, seconds);
-}
+void LatencyRecorder::Record(double seconds) { hist_.Observe(seconds); }
 
-std::uint64_t LatencyRecorder::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return samples_.size();
-}
+std::uint64_t LatencyRecorder::count() const { return hist_.Count(); }
 
-double LatencyRecorder::mean() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return samples_.empty() ? 0.0
-                          : sum_ / static_cast<double>(samples_.size());
-}
+double LatencyRecorder::mean() const { return hist_.Mean(); }
 
-double LatencyRecorder::max() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return max_;
-}
+double LatencyRecorder::max() const { return hist_.Max(); }
 
 double LatencyRecorder::Percentile(double p) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (samples_.empty()) return 0.0;
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
-  const double clamped = std::clamp(p, 0.0, 100.0);
-  // Nearest rank: smallest sample with >= p% of samples at or below it.
-  const std::size_t rank = static_cast<std::size_t>(
-      std::max(1.0, std::ceil(clamped / 100.0 *
-                              static_cast<double>(sorted.size()))));
-  return sorted[rank - 1];
+  return hist_.Percentile(p);
 }
 
 std::string LatencyRecorder::Summary() const {

@@ -32,6 +32,7 @@
 #include "arch/controller.h"
 #include "core/accelerator.h"
 #include "core/perf_model.h"
+#include "obs/metrics.h"
 #include "runtime/partitioner.h"
 #include "stream/incremental_counter.h"
 
@@ -118,8 +119,13 @@ struct StreamStats {
 /// threads Record() their end-to-end seconds, the reporter reads
 /// count/mean/max and nearest-rank percentiles (p50/p99 in the
 /// service_simulation tables and the mixed-mode scaling_stream bench).
-/// Percentile() sorts a copy per call — reporting-path cost, not
-/// request-path cost.
+/// Backed by an (unregistered) obs::Histogram: Record() is a few
+/// relaxed atomic bumps instead of a lock + vector push, and memory
+/// stays O(buckets) instead of O(samples). Percentiles are therefore
+/// bucketed: nearest-rank over the log2 buckets, within a relative
+/// error of 1/(2 * obs::Histogram::kSubBuckets) (~0.8%) of the exact
+/// sample — count/mean/max stay exact (tests/obs_test.cpp pins the
+/// parity bound against the exact sorted-sample nearest rank).
 class LatencyRecorder {
  public:
   void Record(double seconds);
@@ -127,16 +133,13 @@ class LatencyRecorder {
   [[nodiscard]] std::uint64_t count() const;
   [[nodiscard]] double mean() const;
   [[nodiscard]] double max() const;
-  /// Nearest-rank percentile, p in [0, 100]; 0 when empty.
+  /// Bucketed nearest-rank percentile, p in [0, 100]; 0 when empty.
   [[nodiscard]] double Percentile(double p) const;
   /// "n=… mean=… p50=… p99=… max=…" with times in milliseconds.
   [[nodiscard]] std::string Summary() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<double> samples_;
-  double sum_ = 0.0;
-  double max_ = 0.0;
+  obs::Histogram hist_;
 };
 
 }  // namespace tcim::runtime

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "core/bitwise_tc.h"
+#include "obs/trace.h"
+#include "runtime/metrics.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -102,11 +104,13 @@ std::uint32_t ThreadCount(const BankPoolConfig& config) {
 BankPool::BankPool(BankPoolConfig config)
     : config_(std::move(config)), workers_(ThreadCount(config_)) {
   banks_.reserve(config_.num_banks);
+  bank_busy_.reserve(config_.num_banks);
   for (std::uint32_t b = 0; b < config_.num_banks; ++b) {
     core::TcimConfig bank_config = config_.accelerator;
     bank_config.controller.rng_seed =
         DeriveBankSeed(config_.accelerator.controller.rng_seed, b);
     banks_.push_back(std::make_unique<core::TcimAccelerator>(bank_config));
+    bank_busy_.push_back(&BankPoolMetrics::BankBusyMicros(b));
   }
 }
 
@@ -120,6 +124,9 @@ void BankPool::RunShards(
   std::condition_variable done_cv;
   std::uint32_t remaining = num_banks();
   std::exception_ptr first_error;
+  // Per-shard wall times, slot-per-bank so the workers write without
+  // contending; folded into the registry after the latch.
+  std::vector<double> shard_seconds(num_banks(), 0.0);
 
   const auto wait_for_shards = [&] {
     std::unique_lock<std::mutex> lock(mu);
@@ -131,10 +138,21 @@ void BankPool::RunShards(
       const ShardInfo& shard = partition.shards[b];
       workers_.Post([&, b, shard] {
         std::exception_ptr error;
-        try {
-          run_shard(b, shard);
-        } catch (...) {
-          error = std::current_exception();
+        {
+          std::string span_args;
+          if (obs::TraceEnabled()) {
+            span_args = "\"bank\":" + std::to_string(b) + ",\"rows\":[" +
+                        std::to_string(shard.row_begin) + "," +
+                        std::to_string(shard.row_end) + "]";
+          }
+          obs::TraceSpan span("shard", "bank", std::move(span_args));
+          util::Timer clock;
+          try {
+            run_shard(b, shard);
+          } catch (...) {
+            error = std::current_exception();
+          }
+          shard_seconds[b] = clock.ElapsedSeconds();
         }
         std::lock_guard<std::mutex> lock(mu);
         if (error && !first_error) first_error = error;
@@ -153,6 +171,25 @@ void BankPool::RunShards(
     throw;
   }
   wait_for_shards();
+
+  // Fold the run into runtime.bank.*: per-bank busy time, the shard
+  // latency histogram, and the load-imbalance gauge (max/mean shard
+  // time of THIS fan-out — the hub-bottleneck signal of ROADMAP #1).
+  BankPoolMetrics& metrics = BankPoolMetrics::Get();
+  metrics.shard_runs.Increment();
+  double sum = 0.0;
+  double max_shard = 0.0;
+  for (std::uint32_t b = 0; b < num_banks(); ++b) {
+    const double s = shard_seconds[b];
+    metrics.shard_seconds.Observe(s);
+    bank_busy_[b]->Add(static_cast<std::uint64_t>(s * 1e6));
+    sum += s;
+    max_shard = std::max(max_shard, s);
+  }
+  metrics.bank_busy_micros.Add(static_cast<std::uint64_t>(sum * 1e6));
+  if (sum > 0.0) {
+    metrics.shard_imbalance.Set(max_shard * num_banks() / sum);
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -145,6 +145,9 @@ class BankPool {
 
   BankPoolConfig config_;
   std::vector<std::unique_ptr<core::TcimAccelerator>> banks_;
+  /// Cached runtime.bank.<b>.busy_micros_total registry counters, one
+  /// per bank (resolved once in the constructor, bumped per shard).
+  std::vector<obs::Counter*> bank_busy_;
   mutable WorkerPool workers_;
 };
 

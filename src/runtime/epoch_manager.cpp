@@ -1,6 +1,11 @@
 #include "runtime/epoch_manager.h"
 
+#include <string>
 #include <utility>
+
+#include "obs/trace.h"
+#include "runtime/metrics.h"
+#include "util/timer.h"
 
 namespace tcim::runtime {
 
@@ -10,12 +15,29 @@ std::uint64_t EpochManager::Publish(EpochSnapshot snapshot) {
   // even when the last pin outlives the manager, and it must run
   // synchronously in whatever thread drops the last reference.
   Pin next(raw, [counters = counters_](const EpochSnapshot* p) {
+    const std::uint64_t epoch = p->epoch;
     delete p;
     counters->live.fetch_sub(1, std::memory_order_relaxed);
     counters->retired.fetch_add(1, std::memory_order_relaxed);
+    EpochMetrics& metrics = EpochMetrics::Get();
+    metrics.retired.Increment();
+    metrics.live.Set(static_cast<double>(
+        counters->live.load(std::memory_order_relaxed)));
+    // Closes the lifecycle span opened at Publish; also an instant so
+    // the retire moment is visible even when the publish predates the
+    // capture (bench --trace flags can start mid-run).
+    obs::TraceAsyncEnd("epoch.lifecycle", "epoch", epoch);
+    if (obs::TraceEnabled()) {
+      obs::TraceInstant("epoch.retire", "epoch",
+                        "\"epoch\":" + std::to_string(epoch));
+    }
   });
   counters_->live.fetch_add(1, std::memory_order_relaxed);
   counters_->published.fetch_add(1, std::memory_order_relaxed);
+  EpochMetrics& metrics = EpochMetrics::Get();
+  metrics.published.Increment();
+  metrics.live.Set(static_cast<double>(
+      counters_->live.load(std::memory_order_relaxed)));
   std::uint64_t id = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -23,12 +45,25 @@ std::uint64_t EpochManager::Publish(EpochSnapshot snapshot) {
     raw->epoch = id;
     current_ = std::move(next);  // may retire the predecessor here
   }
+  // Lifecycle span: publish -> retire, keyed by epoch id (epochs
+  // overlap, so they cannot be thread-scoped complete events).
+  obs::TraceAsyncBegin("epoch.lifecycle", "epoch", id);
+  if (obs::TraceEnabled()) {
+    obs::TraceInstant("epoch.publish", "epoch",
+                      "\"epoch\":" + std::to_string(id));
+  }
   return id;
 }
 
 EpochManager::Pin EpochManager::PinCurrent() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return current_;
+  util::Timer clock;
+  Pin pin;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pin = current_;
+  }
+  EpochMetrics::Get().pin_seconds.Observe(clock.ElapsedSeconds());
+  return pin;
 }
 
 std::uint64_t EpochManager::current_epoch() const {

@@ -142,6 +142,14 @@ class JobRecord {
     return state_;
   }
 
+  /// Submit → dispatch wait; valid once the job left the queue
+  /// (MarkRunning / MarkCancelled). Feeds the scheduler.*.wait_seconds
+  /// registry histograms.
+  [[nodiscard]] double QueueSeconds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return outcome_.queue_seconds;
+  }
+
   /// Blocks until terminal and returns the outcome (by value: the
   /// record outlives the scheduler, handles may Wait() after shutdown).
   [[nodiscard]] JobOutcome Wait() const {

@@ -2,9 +2,32 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
+#include "obs/trace.h"
+#include "runtime/metrics.h"
+#include "util/timer.h"
+
 namespace tcim::runtime {
+
+namespace {
+
+// Span/async-event names must be string literals (obs::TraceEvent
+// stores the pointer).
+const char* KindSpanName(JobKind kind) noexcept {
+  switch (kind) {
+    case JobKind::kCount:
+      return "job.count";
+    case JobKind::kUpdate:
+      return "job.update";
+    case JobKind::kQuery:
+      break;
+  }
+  return "job.query";
+}
+
+}  // namespace
 
 Scheduler::Scheduler(SchedulerConfig config)
     : config_(std::move(config)), pool_(config_.pool) {
@@ -37,11 +60,22 @@ std::pair<std::shared_ptr<JobRecord>, bool> Scheduler::AdmitLocked(
   if (config_.max_pending > 0 &&
       policy_lane_.size() + update_lane_.size() >= config_.max_pending) {
     ++rejected_;
+    SchedulerMetrics::Get().rejected.Increment();
     record->MarkFailed("admission: queue full");
     return {std::move(record), false};
   }
   ++accepted_;
+  SchedulerMetrics::Get().ForKind(kind).submitted.Increment();
+  // The job's queue->run lifetime crosses threads (submit here,
+  // dispatch on a worker), so it is an async span keyed by job id.
+  obs::TraceAsyncBegin(KindSpanName(kind), "job", sequence);
   return {std::move(record), true};
+}
+
+void Scheduler::UpdateDepthGaugesLocked() const {
+  SchedulerMetrics& metrics = SchedulerMetrics::Get();
+  metrics.policy_depth.Set(static_cast<double>(policy_lane_.size()));
+  metrics.update_depth.Set(static_cast<double>(update_lane_.size()));
 }
 
 JobHandle Scheduler::Submit(graph::Graph graph, JobOptions options) {
@@ -57,6 +91,7 @@ JobHandle Scheduler::Submit(graph::Graph graph, JobOptions options) {
     if (admitted) {
       policy_lane_.push_back(QueueEntry{record, std::move(graph), nullptr, {},
                                         record->id()});
+      UpdateDepthGaugesLocked();
     }
   }
   if (admitted) cv_.notify_one();
@@ -81,6 +116,7 @@ JobHandle Scheduler::SubmitQuery(std::shared_ptr<StreamSession> session,
     if (admitted) {
       policy_lane_.push_back(QueueEntry{record, graph::Graph{},
                                         std::move(session), {}, record->id()});
+      UpdateDepthGaugesLocked();
     }
   }
   if (admitted) cv_.notify_one();
@@ -107,6 +143,7 @@ JobHandle Scheduler::SubmitUpdate(std::shared_ptr<StreamSession> session,
       update_lane_.push_back(QueueEntry{record, graph::Graph{},
                                         std::move(session), std::move(delta),
                                         record->id()});
+      UpdateDepthGaugesLocked();
     }
   }
   if (admitted) cv_.notify_one();
@@ -136,10 +173,17 @@ void Scheduler::Shutdown(ShutdownMode mode) {
       cancel_pending_ = true;
       for (std::deque<QueueEntry>* lane : {&policy_lane_, &update_lane_}) {
         for (QueueEntry& entry : *lane) {
-          if (entry.record->MarkCancelled()) ++completed_;
+          if (entry.record->MarkCancelled()) {
+            ++completed_;
+            // Close the async span opened at admission so traces stay
+            // balanced even for jobs that never ran.
+            obs::TraceAsyncEnd(KindSpanName(entry.record->kind()), "job",
+                               entry.record->id(), "\"cancelled\":true");
+          }
         }
         lane->clear();
       }
+      UpdateDepthGaugesLocked();
     }
   }
   cv_.notify_all();
@@ -262,6 +306,7 @@ void Scheduler::DispatcherLoop() {
         follower_orders.push_back(next_start_order_++);
       }
       running_ += 1 + followers.size();
+      UpdateDepthGaugesLocked();
     }
     RunEntry(std::move(entry), std::move(followers), start_order,
              std::move(follower_orders));
@@ -272,17 +317,34 @@ void Scheduler::RunEntry(QueueEntry entry, std::vector<QueueEntry> followers,
                          std::uint64_t start_order,
                          std::vector<std::uint64_t> follower_orders) {
   const JobKind kind = entry.record->kind();
+  SchedulerMetrics& metrics = SchedulerMetrics::Get();
+  SchedulerMetrics::PerKind& kind_metrics = metrics.ForKind(kind);
   const bool leader_running = entry.record->MarkRunning(start_order);
+  if (leader_running) {
+    kind_metrics.wait_seconds.Observe(entry.record->QueueSeconds());
+  }
   bool any_running = leader_running;
   for (std::size_t f = 0; f < followers.size(); ++f) {
-    any_running |= followers[f].record->MarkRunning(follower_orders[f]);
+    if (followers[f].record->MarkRunning(follower_orders[f])) {
+      any_running = true;
+      kind_metrics.wait_seconds.Observe(followers[f].record->QueueSeconds());
+    }
   }
+  kind_metrics.dispatched.Add(1 + followers.size());
   ClusterResult count_result;
   StreamSession::AppliedBatch applied;
   QueryResult query_base;
   std::string error;
   bool ok = true;
+  util::Timer service_clock;
   if (any_running) {
+    std::string span_args;
+    if (obs::TraceEnabled()) {
+      span_args = "\"id\":" + std::to_string(entry.record->id()) +
+                  ",\"batch\":" + std::to_string(1 + followers.size());
+    }
+    obs::TraceSpan span(KindSpanName(kind), "scheduler",
+                        std::move(span_args));
     try {
       if (hooks_.before_job_run) hooks_.before_job_run(kind);
       switch (kind) {
@@ -316,6 +378,7 @@ void Scheduler::RunEntry(QueueEntry entry, std::vector<QueueEntry> followers,
       ok = false;
       error = "unknown error";
     }
+    kind_metrics.service_seconds.Observe(service_clock.ElapsedSeconds());
   }
   // Update the counters (and free the session for its next batch)
   // before publishing the terminal state, so a client returning from
@@ -328,6 +391,12 @@ void Scheduler::RunEntry(QueueEntry entry, std::vector<QueueEntry> followers,
     if (kind == JobKind::kUpdate) {
       busy_sessions_.erase(entry.session.get());
     }
+  }
+  kind_metrics.done.Add(1 + followers.size());
+  if (ok && any_running) metrics.coalesced.Add(followers.size());
+  obs::TraceAsyncEnd(KindSpanName(kind), "job", entry.record->id());
+  for (const QueueEntry& f : followers) {
+    obs::TraceAsyncEnd(KindSpanName(kind), "job", f.record->id());
   }
   cv_.notify_all();
   if (!any_running) return;  // every record already terminal

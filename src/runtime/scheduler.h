@@ -174,6 +174,9 @@ class Scheduler {
   /// (kFailed) and must not be queued. Caller holds mu_.
   std::pair<std::shared_ptr<JobRecord>, bool> AdmitLocked(JobKind kind,
                                                           JobOptions options);
+  /// Mirrors the lane depths into the scheduler.* registry gauges.
+  /// Caller holds mu_.
+  void UpdateDepthGaugesLocked() const;
   /// Runs one entry (and its coalesced followers) outside mu_.
   void RunEntry(QueueEntry entry, std::vector<QueueEntry> followers,
                 std::uint64_t start_order,

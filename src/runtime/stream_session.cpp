@@ -1,6 +1,11 @@
 #include "runtime/stream_session.h"
 
 #include <memory>
+#include <string>
+
+#include "obs/trace.h"
+#include "runtime/metrics.h"
+#include "util/timer.h"
 
 namespace tcim::runtime {
 
@@ -12,6 +17,8 @@ StreamSession::StreamSession(const graph::Graph& g,
 }
 
 std::uint64_t StreamSession::PublishLocked() {
+  obs::TraceSpan span("stream.publish", "stream");
+  const EpochManager::Pin prev = epochs_.PinCurrent();
   EpochSnapshot snap;
   snap.orientation = counter_.config().orientation;
   snap.slice_bits = counter_.config().slice_bits;
@@ -22,12 +29,35 @@ std::uint64_t StreamSession::PublishLocked() {
   // shared with the previous epoch except those the batch touched.
   snap.matrix =
       std::make_shared<const bit::SlicedMatrix>(counter_.graph().matrix());
+
+  // Registry gauges of the published matrix: live heap footprint and
+  // the COW effectiveness (fraction of slabs physically shared with
+  // the predecessor epoch — 1.0 means the batch touched nothing).
+  StreamMetrics& metrics = StreamMetrics::Get();
+  metrics.heap_bytes.Set(static_cast<double>(snap.matrix->HeapBytes()));
+  if (prev != nullptr && prev->matrix != nullptr) {
+    const std::size_t shared =
+        SharedSlabCount(prev->matrix->rows(), snap.matrix->rows()) +
+        SharedSlabCount(prev->matrix->cols(), snap.matrix->cols());
+    const std::size_t total =
+        snap.matrix->rows().slab_count() + snap.matrix->cols().slab_count();
+    if (total > 0) {
+      metrics.shared_slab_ratio.Set(static_cast<double>(shared) /
+                                    static_cast<double>(total));
+    }
+  }
   return epochs_.Publish(std::move(snap));
 }
 
 StreamSession::AppliedBatch StreamSession::Apply(
     const stream::EdgeDelta& delta) {
   std::lock_guard<std::mutex> lock(writer_mu_);
+  std::string span_args;
+  if (obs::TraceEnabled()) {
+    span_args = "\"ops\":" + std::to_string(delta.size());
+  }
+  obs::TraceSpan span("stream.apply", "stream", std::move(span_args));
+  util::Timer clock;
   stream::BatchResult result = counter_.ApplyBatch(delta);
   if (before_publish_) before_publish_();
   const std::uint64_t epoch = PublishLocked();
@@ -35,6 +65,11 @@ StreamSession::AppliedBatch StreamSession::Apply(
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     stats_.Add(result);
   }
+  StreamMetrics& metrics = StreamMetrics::Get();
+  metrics.batches.Increment();
+  if (result.stats.used_recount) metrics.recounts.Increment();
+  metrics.batch_ops.Observe(static_cast<double>(result.stats.ops_submitted));
+  metrics.apply_seconds.Observe(clock.ElapsedSeconds());
   return AppliedBatch{std::move(result), epoch};
 }
 

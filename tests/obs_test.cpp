@@ -1,0 +1,436 @@
+// Tests for src/obs: the metrics registry (counter/gauge/histogram
+// semantics, percentile error bound, JSON/text scrape) and the Chrome
+// trace-event writer (valid output, per-thread span nesting, the
+// disabled fast path, concurrent emitters).
+//
+// The histogram parity suite is the contract behind the
+// runtime::LatencyRecorder migration: bucketed nearest-rank
+// percentiles must track the exact nearest-rank sample within the
+// documented 1/(2*kSubBuckets) relative error.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/aggregate.h"
+#include "util/rng.h"
+
+namespace tcim::obs {
+namespace {
+
+// Documented bound is 1/(2*kSubBuckets) = 1/128; allow a little
+// floating-point headroom on top.
+constexpr double kRelTol = 1.0 / 128.0 + 1e-9;
+
+// Exact nearest-rank percentile over a sorted sample vector — the
+// definition the pre-migration LatencyRecorder implemented.
+double ExactNearestRank(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double n = static_cast<double>(sorted.size());
+  const auto rank = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(p / 100.0 * n)));
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+// --- registry ---------------------------------------------------------------
+
+TEST(Registry, SameNameReturnsSameMetric) {
+  Registry& reg = Registry::Global();
+  Counter& a = reg.GetCounter("obs_test.identity_counter");
+  Counter& b = reg.GetCounter("obs_test.identity_counter");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &reg.GetCounter("obs_test.other_counter"));
+  EXPECT_EQ(&reg.GetGauge("obs_test.g"), &reg.GetGauge("obs_test.g"));
+  EXPECT_EQ(&reg.GetHistogram("obs_test.h"), &reg.GetHistogram("obs_test.h"));
+}
+
+TEST(Registry, CounterAndGaugeSemantics) {
+  Counter& c = Registry::Global().GetCounter("obs_test.semantics_counter");
+  const std::uint64_t base = c.Value();
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), base + 42);
+
+  Gauge& g = Registry::Global().GetGauge("obs_test.semantics_gauge");
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Set(-1.0);  // last write wins, negatives allowed
+  EXPECT_DOUBLE_EQ(g.Value(), -1.0);
+}
+
+TEST(Registry, SnapshotIsSortedAndTyped) {
+  Registry& reg = Registry::Global();
+  reg.GetCounter("obs_test.snap_b").Add(3);
+  reg.GetGauge("obs_test.snap_a").Set(1.5);
+  reg.GetHistogram("obs_test.snap_c").Observe(0.25);
+
+  const std::vector<MetricSample> snap = reg.Snapshot();
+  ASSERT_FALSE(snap.empty());
+  EXPECT_TRUE(std::is_sorted(
+      snap.begin(), snap.end(),
+      [](const MetricSample& x, const MetricSample& y) {
+        return x.name < y.name;
+      }));
+  bool saw_counter = false, saw_gauge = false, saw_hist = false;
+  for (const MetricSample& s : snap) {
+    if (s.name == "obs_test.snap_b") {
+      EXPECT_EQ(s.kind, MetricSample::Kind::kCounter);
+      EXPECT_EQ(s.count, 3u);
+      saw_counter = true;
+    } else if (s.name == "obs_test.snap_a") {
+      EXPECT_EQ(s.kind, MetricSample::Kind::kGauge);
+      EXPECT_DOUBLE_EQ(s.sum, 1.5);
+      saw_gauge = true;
+    } else if (s.name == "obs_test.snap_c") {
+      EXPECT_EQ(s.kind, MetricSample::Kind::kHistogram);
+      EXPECT_EQ(s.count, 1u);
+      EXPECT_NEAR(s.p50, 0.25, 0.25 * kRelTol);
+      saw_hist = true;
+    }
+  }
+  EXPECT_TRUE(saw_counter && saw_gauge && saw_hist);
+}
+
+// Light structural validation: balanced braces/brackets outside of
+// strings. Full JSON parsing lives in tools/check_trace.py (Python).
+void ExpectBalancedJson(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(Registry, WriteJsonIsBalancedAndStamped) {
+  Registry& reg = Registry::Global();
+  reg.GetCounter("obs_test.json_counter").Add(7);
+  reg.GetHistogram("obs_test.json_hist").Observe(1.0);
+
+  std::ostringstream os;
+  reg.WriteJson(os);
+  const std::string text = os.str();
+  ExpectBalancedJson(text);
+  EXPECT_NE(text.find("\"meta\""), std::string::npos);
+  EXPECT_NE(text.find("\"date\""), std::string::npos);
+  EXPECT_NE(text.find("\"compiler\""), std::string::npos);
+  EXPECT_NE(text.find("\"scale\""), std::string::npos);
+  EXPECT_NE(text.find("\"obs_test.json_counter\":"), std::string::npos);
+  EXPECT_NE(text.find("\"obs_test.json_hist\":"), std::string::npos);
+}
+
+TEST(Registry, WriteTextPrefixFilters) {
+  Registry& reg = Registry::Global();
+  reg.GetCounter("obs_test.text_counter").Add(1);
+  reg.GetCounter("obs_test_other.text_counter").Add(1);
+
+  std::ostringstream filtered;
+  reg.WriteText(filtered, "obs_test.");
+  EXPECT_NE(filtered.str().find("obs_test.text_counter"), std::string::npos);
+  EXPECT_EQ(filtered.str().find("obs_test_other."), std::string::npos);
+
+  std::ostringstream all;
+  reg.WriteText(all);
+  EXPECT_NE(all.str().find("obs_test_other.text_counter"),
+            std::string::npos);
+}
+
+TEST(RunMetadataTest, FieldsArePopulated) {
+  const RunMetadata meta = CollectRunMetadata();
+  // ISO-8601 UTC: "YYYY-MM-DDThh:mm:ssZ".
+  ASSERT_EQ(meta.date.size(), 20u);
+  EXPECT_EQ(meta.date[4], '-');
+  EXPECT_EQ(meta.date[10], 'T');
+  EXPECT_EQ(meta.date.back(), 'Z');
+  EXPECT_FALSE(meta.compiler.empty());
+  EXPECT_GT(meta.scale, 0.0);
+
+  const std::string fields = RunMetadataJsonFields();
+  EXPECT_NE(fields.find("\"date\":"), std::string::npos);
+  EXPECT_NE(fields.find("\"compiler\":"), std::string::npos);
+  EXPECT_NE(fields.find("\"scale\":"), std::string::npos);
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape(std::string_view("a\nb")), "a\\nb");
+}
+
+// --- histogram --------------------------------------------------------------
+
+TEST(Histogram, ExactStatsAlongsideBuckets) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 0.0);
+
+  h.Observe(0.5);
+  h.Observe(1.5);
+  h.Observe(2.0);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 4.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 4.0 / 3.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.5);  // min/max are exact, not bucketed
+  EXPECT_DOUBLE_EQ(h.Max(), 2.0);
+}
+
+TEST(Histogram, BucketRepresentativeWithinDocumentedError) {
+  util::Xoshiro256 rng(2026);
+  const double lo = std::ldexp(1.0, Histogram::kMinExponent);
+  const double hi = std::ldexp(1.0, Histogram::kMaxExponent);
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform over the full bucketed range.
+    const double u = static_cast<double>(rng()) / 1.8446744073709552e19;
+    const double v = lo * std::exp(u * std::log(hi / lo));
+    if (v < lo || v >= hi) continue;
+    const std::uint32_t idx = Histogram::BucketIndex(v);
+    const double rep = Histogram::BucketRepresentative(idx);
+    EXPECT_NEAR(rep, v, v * kRelTol) << "value " << v << " bucket " << idx;
+  }
+}
+
+TEST(Histogram, BucketIndexIsMonotoneAndClamps) {
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(-1.0), 0u);
+  const double tiny = std::ldexp(1.0, Histogram::kMinExponent - 3);
+  EXPECT_EQ(Histogram::BucketIndex(tiny), 0u);  // underflow bucket
+
+  std::uint32_t prev = 0;
+  for (double v = 1e-9; v < 128.0; v *= 1.07) {
+    const std::uint32_t idx = Histogram::BucketIndex(v);
+    EXPECT_GE(idx, prev) << "at " << v;
+    EXPECT_LT(idx, Histogram::kNumBuckets);
+    prev = idx;
+  }
+  // Overflow clamps into the top bucket instead of indexing out.
+  EXPECT_EQ(Histogram::BucketIndex(1e12), Histogram::kNumBuckets - 1);
+}
+
+TEST(Histogram, PercentileParityVsExactNearestRank) {
+  util::Xoshiro256 rng(7);
+  Histogram h;
+  std::vector<double> samples;
+  samples.reserve(500);
+  for (int i = 0; i < 500; ++i) {
+    // Log-uniform latencies from 1 us to 10 s.
+    const double u = static_cast<double>(rng()) / 1.8446744073709552e19;
+    const double v = 1e-6 * std::exp(u * std::log(10.0 / 1e-6));
+    samples.push_back(v);
+    h.Observe(v);
+  }
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+
+  for (const double p : {0.0, 1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0,
+                         99.9, 100.0}) {
+    const double exact = ExactNearestRank(sorted, p);
+    EXPECT_NEAR(h.Percentile(p), exact, exact * kRelTol) << "p" << p;
+  }
+}
+
+// The LatencyRecorder migration contract (satellite of this PR): the
+// recorder's percentiles must track the exact nearest-rank values the
+// old mutex-and-vector implementation returned, within the histogram
+// bound; count/mean/max stay exact.
+TEST(LatencyRecorderParity, TracksExactNearestRank) {
+  util::Xoshiro256 rng(99);
+  runtime::LatencyRecorder recorder;
+  std::vector<double> samples;
+  samples.reserve(300);
+  double sum = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    const double u = static_cast<double>(rng()) / 1.8446744073709552e19;
+    const double v = 1e-5 * std::exp(u * std::log(1.0 / 1e-5));
+    samples.push_back(v);
+    sum += v;
+    recorder.Record(v);
+  }
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+
+  EXPECT_EQ(recorder.count(), 300u);
+  EXPECT_NEAR(recorder.mean(), sum / 300.0, 1e-12);
+  EXPECT_DOUBLE_EQ(recorder.max(), sorted.back());
+  for (const double p : {50.0, 90.0, 95.0, 99.0}) {
+    const double exact = ExactNearestRank(sorted, p);
+    EXPECT_NEAR(recorder.Percentile(p), exact, exact * kRelTol) << "p" << p;
+  }
+}
+
+TEST(Histogram, ConcurrentObserversLoseNothing) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(1e-4 * static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.Count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h.Min(), 1e-4);
+  EXPECT_DOUBLE_EQ(h.Max(), 8e-4);
+}
+
+// --- tracing ----------------------------------------------------------------
+
+TEST(Trace, DisabledModeEmitsNothing) {
+  StopTracing();  // establish the disabled state regardless of env
+  ASSERT_FALSE(TraceEnabled());
+  const std::size_t before = TraceSnapshotForTest().size();
+  {
+    TraceSpan span("obs_test.disabled", "test");
+    TraceInstant("obs_test.disabled_i", "test");
+    TraceAsyncBegin("obs_test.disabled_a", "test", 1);
+    TraceAsyncEnd("obs_test.disabled_a", "test", 1);
+  }
+  EXPECT_EQ(TraceSnapshotForTest().size(), before);
+}
+
+// The disabled path is one relaxed atomic load + branch per span; a
+// counted hot loop of a million spans must be effectively free. The
+// bound is deliberately loose (wall-clock on shared CI hardware) —
+// it catches accidental clock reads or allocations on the disabled
+// path, not nanosecond regressions.
+TEST(Trace, DisabledSpanHotLoopIsCheap) {
+  StopTracing();
+  ASSERT_FALSE(TraceEnabled());
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 1000000; ++i) {
+    TraceSpan span("obs_test.hot", "test");
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(seconds, 1.0);
+}
+
+TEST(Trace, SpansNestPerThread) {
+  // TempDir keeps the file out of the working tree even if the
+  // process-exit rewrite re-emits it after the std::remove below.
+  const std::string path = testing::TempDir() + "obs_test_nest_trace.json";
+  StopTracing();
+  StartTracing(path);
+  ASSERT_TRUE(TraceEnabled());
+  {
+    TraceSpan outer("obs_test.outer", "test");
+    {
+      TraceSpan inner("obs_test.inner", "test", "\"depth\":1");
+    }
+  }
+  StopTracing();
+
+  const std::vector<internal::TraceEvent> events = TraceSnapshotForTest();
+  const internal::TraceEvent* outer = nullptr;
+  const internal::TraceEvent* inner = nullptr;
+  for (const internal::TraceEvent& e : events) {
+    if (std::string(e.name) == "obs_test.outer") outer = &e;
+    if (std::string(e.name) == "obs_test.inner") inner = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->phase, 'X');
+  EXPECT_EQ(inner->phase, 'X');
+  EXPECT_EQ(outer->tid, inner->tid);
+  // Proper nesting: inner starts no earlier and ends no later.
+  EXPECT_GE(inner->ts_ns, outer->ts_ns);
+  EXPECT_LE(inner->ts_ns + inner->dur_ns, outer->ts_ns + outer->dur_ns);
+  EXPECT_EQ(inner->args, "\"depth\":1");
+  std::remove(path.c_str());
+}
+
+TEST(Trace, FileIsBalancedJsonWithMetadata) {
+  const std::string path = testing::TempDir() + "obs_test_file_trace.json";
+  StopTracing();
+  StartTracing(path);
+  {
+    TraceSpan span("obs_test.span", "test");
+    TraceInstant("obs_test.marker", "test", "\"k\":1");
+    TraceAsyncBegin("obs_test.async", "test", 42);
+    TraceAsyncEnd("obs_test.async", "test", 42);
+  }
+  StopTracing();
+  EXPECT_EQ(TracePath(), path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  ExpectBalancedJson(text);
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(text.find("\"metadata\""), std::string::npos);
+  EXPECT_NE(text.find("\"compiler\""), std::string::npos);
+  EXPECT_NE(text.find("\"obs_test.span\""), std::string::npos);
+  EXPECT_NE(text.find("\"obs_test.marker\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"e\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, ConcurrentEmittersLoseNothing) {
+  const std::string path = testing::TempDir() + "obs_test_concurrent_trace.json";
+  StopTracing();
+  StartTracing(path);
+  const std::size_t before = TraceSnapshotForTest().size();
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceSpan span("obs_test.worker_span", "test");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();  // thread-exit flushes
+  StopTracing();
+
+  const std::vector<internal::TraceEvent> events = TraceSnapshotForTest();
+  EXPECT_EQ(TraceDroppedForTest(), 0u);
+  std::size_t worker_events = 0;
+  for (const internal::TraceEvent& e : events) {
+    if (std::string(e.name) == "obs_test.worker_span") ++worker_events;
+  }
+  EXPECT_EQ(worker_events,
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_GE(events.size(), before);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tcim::obs

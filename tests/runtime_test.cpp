@@ -432,18 +432,21 @@ TEST(AggregateTest, LatencyRecorderNearestRankPercentiles) {
   runtime::LatencyRecorder recorder;
   EXPECT_EQ(recorder.count(), 0u);
   EXPECT_EQ(recorder.Percentile(99.0), 0.0);
-  // Record 1ms..10ms out of order; nearest-rank percentiles are exact
-  // sample values, never interpolations.
+  // Record 1ms..10ms out of order. count/mean/max stay exact (the
+  // backing obs::Histogram keeps exact sum/min/max atomics); the
+  // nearest-rank percentiles come from the log2-bucketed histogram, so
+  // they match the exact sample to the bucket's relative width (<= 1%
+  // at 64 sub-buckets per octave — parity pinned in tests/obs_test).
   for (const double ms : {4., 1., 9., 2., 7., 5., 10., 3., 8., 6.}) {
     recorder.Record(ms / 1e3);
   }
   EXPECT_EQ(recorder.count(), 10u);
   EXPECT_DOUBLE_EQ(recorder.mean(), 5.5e-3);
   EXPECT_DOUBLE_EQ(recorder.max(), 10e-3);
-  EXPECT_DOUBLE_EQ(recorder.Percentile(50.0), 5e-3);
-  EXPECT_DOUBLE_EQ(recorder.Percentile(99.0), 10e-3);
-  EXPECT_DOUBLE_EQ(recorder.Percentile(0.0), 1e-3);
-  EXPECT_DOUBLE_EQ(recorder.Percentile(100.0), 10e-3);
+  EXPECT_NEAR(recorder.Percentile(50.0), 5e-3, 5e-3 * 0.01);
+  EXPECT_NEAR(recorder.Percentile(99.0), 10e-3, 10e-3 * 0.01);
+  EXPECT_NEAR(recorder.Percentile(0.0), 1e-3, 1e-3 * 0.01);
+  EXPECT_NEAR(recorder.Percentile(100.0), 10e-3, 10e-3 * 0.01);
   EXPECT_NE(recorder.Summary().find("n=10"), std::string::npos);
   EXPECT_NE(recorder.Summary().find("p99="), std::string::npos);
 }

@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Chrome trace-event validator for TCIM trace captures.
+
+Validates a trace produced by the ``TCIM_TRACE`` hook (src/obs/trace):
+  * the file is valid JSON with a ``traceEvents`` list and a
+    ``metadata`` stamp (date / compiler / scale / tool);
+  * every event carries the required fields for its phase — ``X``
+    (complete) events need a non-negative ``dur``, ``b``/``e`` (async)
+    events need an ``id``, ``i`` (instant) events a scope;
+  * ``X`` events nest properly per (pid, tid): two spans on one thread
+    either nest or are disjoint, never partially overlap;
+  * async begins/ends pair up per (cat, id); unmatched *begins* are
+    fine (spans still open at capture end — e.g. the live epoch), but
+    an end without a begin is an error;
+  * with ``--expect a,b,c`` every named span must appear at least once.
+
+Usage:
+  check_trace.py TRACE.json [--expect names]
+  check_trace.py --binary PATH [--expect names] [-- ARG...]
+
+The second form runs PATH with TCIM_TRACE pointing at a temp file
+(appending any ARGs after ``--``), requires it to exit 0, then
+validates the capture. Registered as the ``trace_check`` ctest over
+examples/service_simulation and run by CI's trace-check leg.
+
+Exit status 0 when the trace validates, 1 otherwise (one line per
+problem).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REQUIRED_METADATA = ("date", "compiler", "scale", "tool")
+VALID_PHASES = {"X", "i", "b", "e"}
+
+
+def fail(errors, message):
+    errors.append(message)
+
+
+def check_event_fields(errors, i, ev):
+    """Per-event field validation; returns False when too broken to use."""
+    if not isinstance(ev, dict):
+        fail(errors, f"event {i}: not an object")
+        return False
+    for key in ("name", "cat", "ph"):
+        if not isinstance(ev.get(key), str) or not ev[key]:
+            fail(errors, f"event {i}: missing or empty '{key}'")
+            return False
+    if ev["ph"] not in VALID_PHASES:
+        fail(errors, f"event {i} ({ev['name']}): unknown phase {ev['ph']!r}")
+        return False
+    for key in ("pid", "tid"):
+        if not isinstance(ev.get(key), int):
+            fail(errors, f"event {i} ({ev['name']}): missing int '{key}'")
+            return False
+    ts = ev.get("ts")
+    if not isinstance(ts, (int, float)) or ts < 0:
+        fail(errors, f"event {i} ({ev['name']}): bad 'ts' {ts!r}")
+        return False
+    if ev["ph"] == "X":
+        dur = ev.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            fail(errors, f"event {i} ({ev['name']}): 'X' needs 'dur' >= 0")
+            return False
+    if ev["ph"] in ("b", "e") and "id" not in ev:
+        fail(errors, f"event {i} ({ev['name']}): async event without 'id'")
+        return False
+    if ev["ph"] == "i" and ev.get("s") not in ("t", "p", "g"):
+        fail(errors, f"event {i} ({ev['name']}): instant without scope 's'")
+        return False
+    if "args" in ev and not isinstance(ev["args"], dict):
+        fail(errors, f"event {i} ({ev['name']}): 'args' is not an object")
+        return False
+    return True
+
+
+def check_nesting(errors, events):
+    """X spans on one thread must nest or be disjoint."""
+    by_thread = {}
+    for ev in events:
+        if ev["ph"] == "X":
+            by_thread.setdefault((ev["pid"], ev["tid"]), []).append(ev)
+    for (pid, tid), spans in sorted(by_thread.items()):
+        # Outermost-first at equal start times, so parents precede
+        # children on the stack.
+        spans.sort(key=lambda e: (e["ts"], -(e["ts"] + e["dur"])))
+        stack = []  # (start, end, name) of still-open spans
+        for ev in spans:
+            start, end = ev["ts"], ev["ts"] + ev["dur"]
+            while stack and stack[-1][1] <= start:
+                stack.pop()
+            if stack and stack[-1][1] < end:
+                fail(errors,
+                     f"tid {tid}: span '{ev['name']}' [{start}, {end}] "
+                     f"partially overlaps '{stack[-1][2]}' "
+                     f"[{stack[-1][0]}, {stack[-1][1]}]")
+            stack.append((start, end, ev["name"]))
+
+
+def check_async_pairing(errors, events):
+    # File order is flush order, not emission order (per-thread buffers
+    # drain independently), so pair by per-key begin/end *counts*: more
+    # ends than begins for a (cat, id) is impossible in a from-birth
+    # capture; more begins than ends just means the span was still open
+    # when the capture stopped (e.g. the live epoch).
+    balance = {}  # (cat, id) -> begins - ends
+    names = {}
+    for ev in events:
+        if ev["ph"] not in ("b", "e"):
+            continue
+        key = (ev["cat"], ev["id"])
+        balance[key] = balance.get(key, 0) + (1 if ev["ph"] == "b" else -1)
+        names.setdefault(key, ev["name"])
+    for key, net in sorted(balance.items()):
+        if net < 0:
+            fail(errors,
+                 f"async span '{names[key]}' (cat={key[0]}, id={key[1]}): "
+                 f"{-net} more end(s) than begin(s)")
+    still_open = sum(net for net in balance.values() if net > 0)
+    if still_open:
+        # Informational: spans legitimately open at capture end.
+        print(f"note: {still_open} async span(s) still open at capture end")
+
+
+def validate(path, expect):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: {e}"]
+
+    if not isinstance(trace, dict):
+        return [f"{path}: top level is not an object"]
+    metadata = trace.get("metadata")
+    if not isinstance(metadata, dict):
+        fail(errors, "missing 'metadata' object")
+    else:
+        for key in REQUIRED_METADATA:
+            if key not in metadata:
+                fail(errors, f"metadata missing '{key}'")
+        dropped = metadata.get("dropped_events", 0)
+        if dropped:
+            print(f"note: collector dropped {dropped} event(s)")
+
+    raw_events = trace.get("traceEvents")
+    if not isinstance(raw_events, list):
+        fail(errors, "missing 'traceEvents' list")
+        return errors
+    if not raw_events:
+        fail(errors, "empty 'traceEvents' — nothing was captured")
+        return errors
+
+    events = [ev for i, ev in enumerate(raw_events)
+              if check_event_fields(errors, i, ev)]
+    check_nesting(errors, events)
+    check_async_pairing(errors, events)
+
+    names = {ev["name"] for ev in events}
+    for name in expect:
+        if name not in names:
+            fail(errors, f"expected span '{name}' never appears "
+                         f"(saw: {', '.join(sorted(names))})")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate a TCIM Chrome trace-event capture.")
+    parser.add_argument("--binary",
+                        help="run this binary with TCIM_TRACE set to a "
+                             "temp file, then validate the capture")
+    parser.add_argument("--expect", default="",
+                        help="comma-separated span names that must appear")
+    parser.add_argument("rest", nargs="*", metavar="TRACE | -- ARG...",
+                        help="trace JSON to validate, or (with --binary, "
+                             "after --) arguments forwarded to the binary")
+    args = parser.parse_args()
+    expect = [n for n in args.expect.split(",") if n]
+
+    if args.binary:
+        fd, path = tempfile.mkstemp(prefix="tcim_trace_", suffix=".json")
+        os.close(fd)
+        try:
+            env = dict(os.environ, TCIM_TRACE=path)
+            cmd = [args.binary] + args.rest
+            print("running:", " ".join(cmd))
+            proc = subprocess.run(cmd, env=env, stdout=subprocess.DEVNULL)
+            if proc.returncode != 0:
+                print(f"FAIL: {args.binary} exited {proc.returncode}")
+                return 1
+            errors = validate(path, expect)
+        finally:
+            os.unlink(path)
+    else:
+        if len(args.rest) != 1:
+            parser.error("need exactly one TRACE path (or --binary)")
+        errors = validate(args.rest[0], expect)
+
+    if errors:
+        for message in errors:
+            print("FAIL:", message)
+        return 1
+    print("trace OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,13 +6,23 @@
 // shards and the table reports the aggregate critical-path latency
 // (max over banks of the per-bank serial latency), the bank-level
 // speedup over the 1-bank serial view, the partition load imbalance
-// and the edge-cut fraction. Exactness is asserted on every cell: the
-// cluster count must equal the 1-bank count.
+// and the edge-cut fraction. A second sweep runs the same cells under
+// the k2dHubReplicated strategy (row x column tiles + per-bank hub
+// replicas) and reports its speedup against the SAME 1D 1-bank
+// baseline, the replica overhead and the tile imbalance. Exactness is
+// asserted on every cell of both sweeps: the cluster count must equal
+// the 1-bank count.
 //
 // Knobs: TCIM_SCALE / TCIM_SEED / TCIM_DATA_DIR as in every bench;
 // TCIM_BANKS_MAX (default 8) caps the sweep. --trace FILE (or
 // TCIM_TRACE=FILE) captures a Chrome trace of the per-bank shard
 // spans — load it in Perfetto to see the fan-out and the imbalance.
+//
+// --check-2d turns the sweep into a CI gate: exactness stays a hard
+// failure (it always is), and additionally every 2D cell must keep
+// its replica overhead within the 25% budget and the max-bank 2D
+// speedup must reach TCIM_CHECK2D_MIN_SPEEDUP (default 1.2) on every
+// dataset. Exit 1 lists the violated cells.
 #include <algorithm>
 #include <cstdint>
 #include <iostream>
@@ -30,22 +40,26 @@ namespace {
 
 using namespace tcim;
 
-runtime::BankPoolConfig PoolConfig(std::uint32_t banks) {
+runtime::BankPoolConfig PoolConfig(std::uint32_t banks,
+                                   runtime::PartitionStrategy strategy) {
   runtime::BankPoolConfig config;
   config.num_banks = banks;
-  config.partition = runtime::PartitionStrategy::kDegreeBalanced;
+  config.partition = strategy;
   return config;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool check_2d = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace" && i + 1 < argc) {
       obs::StartTracing(argv[++i]);
+    } else if (arg == "--check-2d") {
+      check_2d = true;
     } else {
-      std::cout << "usage: scaling_banks [--trace FILE]   "
+      std::cout << "usage: scaling_banks [--trace FILE] [--check-2d]   "
                    "(TCIM_TRACE=FILE works too)\n";
       return 2;
     }
@@ -59,6 +73,9 @@ int main(int argc, char** argv) {
 
   const std::uint64_t banks_max = std::clamp<std::uint64_t>(
       util::EnvU64("TCIM_BANKS_MAX", 8), 1, runtime::kMaxBanks);
+  const double min_speedup_2d =
+      static_cast<double>(util::EnvU64("TCIM_CHECK2D_MIN_SPEEDUP_PCT", 120)) /
+      100.0;
   std::vector<std::uint32_t> bank_counts;
   for (std::uint32_t b = 1; b <= banks_max; b *= 2) bank_counts.push_back(b);
 
@@ -69,12 +86,26 @@ int main(int argc, char** argv) {
   headers.push_back("Speedup@" + std::to_string(bank_counts.back()) + "B");
   headers.push_back("Imbal");
   headers.push_back("Cut %");
-  util::TablePrinter t(headers);
+  util::TablePrinter t1d(headers);
+
+  std::vector<std::string> headers_2d = {"Dataset"};
+  for (const std::uint32_t b : bank_counts) {
+    headers_2d.push_back(std::to_string(b) + "B lat [s]");
+  }
+  headers_2d.push_back("Speedup@" + std::to_string(bank_counts.back()) + "B");
+  headers_2d.push_back("Hubs");
+  headers_2d.push_back("RepOv %");
+  headers_2d.push_back("ResCut %");
+  headers_2d.push_back("TileImbal");
+  util::TablePrinter t2d(headers_2d);
+
+  std::vector<std::string> violations;
 
   for (const graph::PaperRef& ref : graph::AllPaperRefs()) {
     const graph::DatasetInstance inst = bench::LoadDataset(ref.id);
     bench::PrintProvenance(std::cout, inst);
 
+    // --- 1D degree-balanced sweep (the baseline sweep) ---
     std::vector<std::string> row = {ref.name};
     double lat_1bank = 0.0;
     std::uint64_t triangles_1bank = 0;
@@ -82,7 +113,8 @@ int main(int argc, char** argv) {
     double last_imbalance = 1.0;
     double last_cut = 0.0;
     for (const std::uint32_t banks : bank_counts) {
-      const runtime::BankPool pool{PoolConfig(banks)};
+      const runtime::BankPool pool{
+          PoolConfig(banks, runtime::PartitionStrategy::kDegreeBalanced)};
       const runtime::ClusterResult cluster = pool.Count(inst.graph);
       if (banks == 1) {
         lat_1bank = cluster.critical_path_seconds;
@@ -104,16 +136,76 @@ int main(int argc, char** argv) {
     row.push_back(util::TablePrinter::Ratio(last_speedup, 2));
     row.push_back(util::TablePrinter::Ratio(last_imbalance, 2));
     row.push_back(util::TablePrinter::Percent(last_cut, 1));
-    t.AddRow(row);
+    t1d.AddRow(row);
+
+    // --- 2D hub-replicated sweep, same cells, same 1D 1-bank base ---
+    std::vector<std::string> row_2d = {ref.name};
+    double speedup_2d = 0.0;
+    std::uint64_t hubs_2d = 0;
+    double rep_ov = 0.0;
+    double res_cut = 0.0;
+    double tile_imbal = 1.0;
+    for (const std::uint32_t banks : bank_counts) {
+      const runtime::BankPool pool{
+          PoolConfig(banks, runtime::PartitionStrategy::k2dHubReplicated)};
+      const runtime::ClusterResult cluster = pool.Count(inst.graph);
+      // Per-cell exactness: every 2D cell against the 1D 1-bank count
+      // (which equals the single-accelerator count).
+      if (cluster.triangles != triangles_1bank) {
+        std::cerr << "COUNT MISMATCH on " << ref.name << " (2d) with "
+                  << banks << " banks: " << cluster.triangles << " vs "
+                  << triangles_1bank << "\n";
+        return 1;
+      }
+      row_2d.push_back(
+          util::TablePrinter::Scientific(cluster.critical_path_seconds, 2));
+      speedup_2d = lat_1bank == 0.0
+                       ? 1.0
+                       : lat_1bank / cluster.critical_path_seconds;
+      hubs_2d = cluster.partition.stats.hub_count;
+      rep_ov = cluster.partition.stats.ReplicaOverhead();
+      res_cut = cluster.partition.stats.EdgeCutFraction();
+      tile_imbal = cluster.partition.stats.tile_imbalance;
+      if (check_2d && rep_ov > 0.25 + 1e-9) {
+        violations.push_back(std::string(ref.name) + " @" +
+                             std::to_string(banks) +
+                             "B: replica overhead " +
+                             util::TablePrinter::Percent(rep_ov, 1) +
+                             " exceeds the 25% budget");
+      }
+    }
+    row_2d.push_back(util::TablePrinter::Ratio(speedup_2d, 2));
+    row_2d.push_back(std::to_string(hubs_2d));
+    row_2d.push_back(util::TablePrinter::Percent(rep_ov, 1));
+    row_2d.push_back(util::TablePrinter::Percent(res_cut, 1));
+    row_2d.push_back(util::TablePrinter::Ratio(tile_imbal, 2));
+    t2d.AddRow(row_2d);
+    if (check_2d && bank_counts.size() > 1 && speedup_2d < min_speedup_2d) {
+      violations.push_back(
+          std::string(ref.name) + " @" + std::to_string(bank_counts.back()) +
+          "B: 2D speedup " + util::TablePrinter::Ratio(speedup_2d, 2) +
+          " below the floor " + util::TablePrinter::Ratio(min_speedup_2d, 2));
+    }
   }
 
-  t.Print(std::cout);
-  std::cout << "\n  NB: speedup tops out below the bank count when shards\n"
+  t1d.Print(std::cout);
+  std::cout << "\n  2D hub-replicated sweep (same datasets; speedup vs the\n"
+            << "  1D 1-bank latency above):\n\n";
+  t2d.Print(std::cout);
+  std::cout << "\n  NB: 1D speedup tops out below the bank count when shards\n"
             << "  lose cross-row column reuse (each bank's cache starts\n"
-            << "  cold) or when one heavy row dominates a shard.\n";
+            << "  cold) or when one heavy row dominates a shard; the 2D\n"
+            << "  sweep claws that back with column tiling + hub replicas\n"
+            << "  (RepOv = replica bytes over store bytes).\n";
   if (obs::TraceEnabled()) {
     obs::StopTracing();
     std::cout << "  trace written to " << obs::TracePath() << "\n";
   }
+  if (check_2d && !violations.empty()) {
+    std::cerr << "\n--check-2d FAILED:\n";
+    for (const std::string& v : violations) std::cerr << "  " << v << "\n";
+    return 1;
+  }
+  if (check_2d) std::cout << "\n  --check-2d: all gates passed.\n";
   return 0;
 }

@@ -83,7 +83,9 @@ void Usage() {
       "per bank,\n"
       "                      capped at the hardware concurrency)\n"
       "  --partition P       contiguous | degree (degree-balanced ranges, "
-      "default)\n"
+      "default) |\n"
+      "                      2d (row x column tiles + replicated hub "
+      "columns)\n"
       "  --stream FILE       replay FILE as edge-update batches against the\n"
       "                      loaded graph (incremental counting; '+ u v', "
       "'- u v',\n"
@@ -418,10 +420,27 @@ int main(int argc, char** argv) {
              << ",\"critical_path_seconds\":" << r.critical_path_seconds
              << ",\"serial_sum_seconds\":" << r.serial_sum_seconds
              << ",\"bank_speedup\":" << r.Speedup();
+          if (r.partition.stats.strategy ==
+              runtime::PartitionStrategy::k2dHubReplicated) {
+            os << ",\"hub_count\":" << r.partition.stats.hub_count
+               << ",\"replica_overhead\":" << r.partition.stats.ReplicaOverhead()
+               << ",\"tile_imbalance\":" << r.partition.stats.tile_imbalance;
+          }
         },
         [&](util::TablePrinter& t) {
           using util::TablePrinter;
           t.AddRow({"banks", std::to_string(r.num_banks())});
+          if (r.partition.stats.strategy ==
+              runtime::PartitionStrategy::k2dHubReplicated) {
+            t.AddRow({"hub columns",
+                      std::to_string(r.partition.stats.hub_count)});
+            t.AddRow({"replica overhead",
+                      TablePrinter::Percent(
+                          r.partition.stats.ReplicaOverhead(), 1)});
+            t.AddRow({"tile imbalance",
+                      TablePrinter::Ratio(r.partition.stats.tile_imbalance,
+                                          2)});
+          }
           t.AddRow(
               {"AND ops", TablePrinter::WithThousands(r.exec.valid_pairs)});
           t.AddRow(

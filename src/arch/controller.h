@@ -49,6 +49,12 @@ struct ExecStats {
   std::uint64_t row_slice_writes = 0;  ///< staging writes (per (i, set))
   std::uint64_t spread = 1;            ///< column spread used (mapper.h)
   std::uint64_t col_slice_writes = 0;  ///< cache fills (= cache misses)
+  /// Hub-replica slices pre-loaded into the array before the run (the
+  /// 2D runtime's warm-up). Load-time work: priced as write ENERGY by
+  /// the perf model but kept out of TotalWrites() and the latency
+  /// path — the replicas are installed while the graph is loaded, not
+  /// on the per-query critical path.
+  std::uint64_t replica_slice_writes = 0;
   std::uint64_t bitcount_words = 0;
   CacheStats cache;
   /// Raw Eq. (5) accumulator (NOT divided by the orientation
@@ -93,6 +99,30 @@ class EdgeCountSink {
                       std::uint64_t bitcount) = 0;
 };
 
+/// One bank's 2D execution plan in pure arch terms — the runtime layer
+/// translates its runtime::TilePlan2d into this so arch stays
+/// independent of the partitioner. Region semantics: the hub lane
+/// processes arcs A[i][j] with i in [hub_row_begin, hub_row_end) and
+/// is_hub[j]; each tile processes arcs inside its rectangle with
+/// !is_hub[j]. The caller guarantees the regions cover each of the
+/// bank's arcs exactly once.
+struct BankExecPlan {
+  struct Tile {
+    std::uint32_t row_begin = 0;
+    std::uint32_t row_end = 0;  ///< exclusive
+    std::uint32_t col_begin = 0;
+    std::uint32_t col_end = 0;  ///< exclusive
+  };
+  std::uint32_t hub_row_begin = 0;
+  std::uint32_t hub_row_end = 0;  ///< exclusive
+  /// Sorted hub column ids; their slices are warmed into the bank's
+  /// cache + array before execution (the replica pre-load).
+  std::vector<std::uint32_t> hub_cols;
+  /// num_vertices entries, or nullptr when hub_cols is empty.
+  const std::uint8_t* is_hub = nullptr;
+  std::vector<Tile> tiles;
+};
+
 class Controller {
  public:
   /// The array defines the geometry; the controller builds its mapper
@@ -117,12 +147,37 @@ class Controller {
                                   std::uint32_t row_end,
                                   EdgeCountSink* sink = nullptr);
 
+  /// Runs one bank's 2D plan: warms the hub replicas into the cache +
+  /// array (counted in stats.replica_slice_writes, not in the lookup
+  /// stats), then executes the hub lane and the tail tiles. Cache and
+  /// bit-counter state are cumulative across calls, so use a fresh
+  /// controller per run (as BankPool does). Throws std::out_of_range
+  /// on a plan that exceeds the matrix's vertex range.
+  [[nodiscard]] ExecStats RunPlan(const bit::SlicedMatrix& matrix,
+                                  const BankExecPlan& plan,
+                                  EdgeCountSink* sink = nullptr);
+
   [[nodiscard]] const SliceMapper& mapper() const noexcept { return mapper_; }
   [[nodiscard]] const SliceCache& cache() const noexcept { return cache_; }
 
  private:
   static std::uint32_t EffectiveWays(const nvsim::ArrayConfig& config,
                                      const ControllerConfig& controller);
+
+  struct WorkItem;
+  /// Executes one pivot row's gathered work (set-grouped sort, staging
+  /// writes, cache lookups, ANDs, sink flush) — the inner loop shared
+  /// by RunRows and RunPlan. `work`/`row_edges` are the caller's
+  /// gather output; `row_edge_count` is reusable scratch.
+  void ProcessRowWork(const bit::SlicedMatrix& matrix, std::uint32_t i,
+                      std::uint64_t spread, std::vector<WorkItem>& work,
+                      const std::vector<std::uint32_t>& row_edges,
+                      std::vector<std::uint64_t>& row_edge_count,
+                      ExecStats& stats, EdgeCountSink* sink);
+  /// Pre-loads every valid slice of `hub_cols` into the cache + array.
+  void WarmReplicas(const bit::SlicedMatrix& matrix,
+                    const std::vector<std::uint32_t>& hub_cols,
+                    std::uint64_t spread, ExecStats& stats);
 
   pim::ComputationalArray& array_;
   ControllerConfig config_;

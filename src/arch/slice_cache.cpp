@@ -51,25 +51,28 @@ std::uint32_t SliceCache::PickVictim(const Set& set) {
   return 0;
 }
 
-AccessResult SliceCache::Access(std::uint64_t set_id, std::uint64_t tag) {
+AccessResult SliceCache::AccessImpl(std::uint64_t set_id, std::uint64_t tag,
+                                    bool count_stats) {
   if (set_id >= sets_.size()) {
     throw std::out_of_range("SliceCache::Access: set out of range");
   }
   Set& set = sets_[set_id];
-  ++stats_.lookups;
+  if (count_stats) ++stats_.lookups;
   ++clock_;
 
   for (std::uint32_t w = 0; w < associativity_; ++w) {
     Way& way = set.ways[w];
     if (way.valid && way.tag == tag) {
       way.last_use = clock_;
-      ++stats_.hits;
+      if (count_stats) ++stats_.hits;
       return {.hit = true, .way = w, .evicted = false, .evicted_tag = 0};
     }
   }
 
-  ++stats_.misses;
-  ++stats_.inserts;
+  if (count_stats) {
+    ++stats_.misses;
+    ++stats_.inserts;
+  }
   // Prefer an invalid way (cold fill).
   for (std::uint32_t w = 0; w < associativity_; ++w) {
     Way& way = set.ways[w];
@@ -84,9 +87,17 @@ AccessResult SliceCache::Access(std::uint64_t set_id, std::uint64_t tag) {
   const std::uint64_t old_tag = set.ways[victim].tag;
   set.ways[victim] = Way{.tag = tag, .valid = true, .last_use = clock_,
                          .inserted = clock_};
-  ++stats_.exchanges;
+  if (count_stats) ++stats_.exchanges;
   return {.hit = false, .way = victim, .evicted = true,
           .evicted_tag = old_tag};
+}
+
+AccessResult SliceCache::Access(std::uint64_t set_id, std::uint64_t tag) {
+  return AccessImpl(set_id, tag, /*count_stats=*/true);
+}
+
+AccessResult SliceCache::Install(std::uint64_t set_id, std::uint64_t tag) {
+  return AccessImpl(set_id, tag, /*count_stats=*/false);
 }
 
 bool SliceCache::Contains(std::uint64_t set_id, std::uint64_t tag) const {

@@ -95,6 +95,13 @@ class SliceCache {
   /// reside after the call.
   AccessResult Access(std::uint64_t set, std::uint64_t tag);
 
+  /// Same placement/eviction as Access but WITHOUT touching the run
+  /// statistics — the hub-replica warm-up path of the 2D runtime
+  /// (load-time work, so it must not count as lookups/misses in the
+  /// Fig. 5 accounting). The LRU clock still advances, so warmed
+  /// slices age normally against later fills.
+  AccessResult Install(std::uint64_t set, std::uint64_t tag);
+
   /// Lookup without allocation (tests/diagnostics).
   [[nodiscard]] bool Contains(std::uint64_t set, std::uint64_t tag) const;
   /// Number of resident slices in one set.
@@ -114,6 +121,8 @@ class SliceCache {
   };
 
   [[nodiscard]] std::uint32_t PickVictim(const Set& set);
+  AccessResult AccessImpl(std::uint64_t set, std::uint64_t tag,
+                          bool count_stats);
 
   std::uint32_t associativity_;
   ReplacementPolicy policy_;

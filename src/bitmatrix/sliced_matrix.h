@@ -172,6 +172,31 @@ class SlicedMatrix {
       std::uint32_t row_begin, std::uint32_t row_end,
       PopcountKind kind = PopcountKind::kBuiltin) const;
 
+  /// Eq. (5) over the sub-rectangle rows [row_begin, row_end) x
+  /// columns [col_begin, col_end) — the tile unit of the 2D
+  /// hub-replicated runtime. Only arcs A[i][j] with i and j inside the
+  /// rectangle are enumerated, but each enumerated arc still ANDs the
+  /// FULL row i against the FULL column j: tiling selects which arcs a
+  /// bank pivots on, never which slices get paired, so any family of
+  /// disjoint rectangles covering all non-zeros partitions
+  /// AndPopcountAllEdges() exactly.
+  ///
+  /// `col_mask` (when non-null, num_vertices() entries) filters arcs:
+  /// A[i][j] is enumerated only when (col_mask[j] != 0) == mask_value —
+  /// the hub/tail split (hub lanes pass mask_value=true, tail tiles
+  /// false, same mask, so together they see each arc exactly once).
+  ///
+  /// `cols_override` (when non-null) replaces the column store for the
+  /// ANDs — the per-bank hub-replica store. It must match slice_bits
+  /// and num_vectors (throws std::invalid_argument) and must hold
+  /// bit-identical data for every enumerated column.
+  /// Throws std::out_of_range on an invalid rectangle.
+  [[nodiscard]] std::uint64_t AndPopcountRect(
+      std::uint32_t row_begin, std::uint32_t row_end, std::uint32_t col_begin,
+      std::uint32_t col_end, const std::uint8_t* col_mask = nullptr,
+      bool mask_value = true, const SlicedStore* cols_override = nullptr,
+      PopcountKind kind = PopcountKind::kBuiltin) const;
+
   /// Full statistics pass (Tables III/IV); costs one edge iteration.
   [[nodiscard]] SliceStats ComputeStats() const;
 

@@ -497,6 +497,79 @@ BitVector SlicedStore::ToBitVector(std::uint32_t v) const {
   return out;
 }
 
+SlicedStore SlicedStore::ExtractVectors(
+    std::span<const std::uint32_t> keep) const {
+  for (std::size_t k = 0; k < keep.size(); ++k) {
+    if (keep[k] >= num_vectors_ || (k > 0 && keep[k] <= keep[k - 1])) {
+      throw std::invalid_argument(
+          "SlicedStore::ExtractVectors: keep must be sorted, unique and in "
+          "range");
+    }
+  }
+  SlicedStore out;
+  out.num_vectors_ = num_vectors_;
+  out.universe_ = universe_;
+  out.slice_bits_ = slice_bits_;
+  out.words_per_slice_ = words_per_slice_;
+  out.slices_per_vector_ = slices_per_vector_;
+  out.slabs_.reserve(slabs_.size());
+  out.slab_base_.assign(slabs_.size() + 1, 0);
+
+  // Every all-dropped slab points at ONE lazily-made empty slab, so
+  // dropping a large tail costs O(1) allocations, not O(#slabs).
+  std::shared_ptr<Slab> empty;
+  std::size_t cursor = 0;  // into keep
+  for (std::size_t s = 0; s < slabs_.size(); ++s) {
+    const std::uint32_t base_v =
+        static_cast<std::uint32_t>(s << kSlabVectorShift);
+    const std::uint64_t end_v = std::min<std::uint64_t>(
+        num_vectors_, static_cast<std::uint64_t>(base_v) + kSlabVectors);
+    std::size_t next = cursor;
+    while (next < keep.size() && keep[next] < end_v) ++next;
+    const Slab& src = *slabs_[s];
+    const std::uint64_t src_slices = src.offsets[kSlabVectors];
+    std::uint64_t kept_slices = 0;
+    for (std::size_t k = cursor; k < next; ++k) {
+      const std::uint32_t lv = LocalOf(keep[k]);
+      kept_slices += src.offsets[lv + 1] - src.offsets[lv];
+    }
+    if (kept_slices == src_slices) {
+      out.slabs_.push_back(slabs_[s]);  // everything kept: share, zero copy
+    } else if (kept_slices == 0) {
+      if (empty == nullptr) empty = MakeEmptySlab();
+      out.slabs_.push_back(empty);
+    } else {
+      auto slab = MakeEmptySlab();
+      slab->indices.reserve(kept_slices);
+      slab->words.reserve(kept_slices * words_per_slice_);
+      std::size_t k = cursor;
+      std::uint64_t written = 0;
+      for (std::uint32_t lv = 0; lv < kSlabVectors; ++lv) {
+        if (k < next && keep[k] == base_v + lv) {
+          const auto b = static_cast<std::ptrdiff_t>(src.offsets[lv]);
+          const auto e = static_cast<std::ptrdiff_t>(src.offsets[lv + 1]);
+          slab->indices.insert(slab->indices.end(), src.indices.begin() + b,
+                               src.indices.begin() + e);
+          slab->words.insert(
+              slab->words.end(),
+              src.words.begin() + b * static_cast<std::ptrdiff_t>(
+                                          words_per_slice_),
+              src.words.begin() + e * static_cast<std::ptrdiff_t>(
+                                          words_per_slice_));
+          written += static_cast<std::uint64_t>(e - b);
+          ++k;
+        }
+        slab->offsets[lv + 1] = written;
+      }
+      out.slabs_.push_back(std::move(slab));
+    }
+    out.slab_base_[s + 1] =
+        out.slab_base_[s] + out.slabs_.back()->indices.size();
+    cursor = next;
+  }
+  return out;
+}
+
 std::uint64_t SlicedStore::HeapBytes() const noexcept {
   std::uint64_t bytes =
       slabs_.capacity() * sizeof(std::shared_ptr<Slab>) +

@@ -226,6 +226,55 @@ class SlicedStore {
   /// Reconstructs the dense bit vector for v (validation/round-trip).
   [[nodiscard]] BitVector ToBitVector(std::uint32_t v) const;
 
+  /// Calls fn(position) for every set bit of vector v with position in
+  /// [lo, hi), in increasing order — the column-range arc iteration of
+  /// the 2D tile executor (a tile enumerates only arcs whose target
+  /// falls inside its column stripe). Seeks the first candidate slice
+  /// by binary search, so a narrow range costs O(log slices + slices
+  /// overlapping the range) instead of a full-vector walk.
+  template <typename Fn>
+  void ForEachSetBitInRange(std::uint32_t v, std::uint64_t lo,
+                            std::uint64_t hi, Fn&& fn) const {
+    if (lo >= hi) return;
+    const VectorSlices vs = Slices(v);
+    const auto first_slice = static_cast<std::uint32_t>(lo / slice_bits_);
+    std::size_t k = static_cast<std::size_t>(
+        std::lower_bound(vs.indices.begin(), vs.indices.end(), first_slice) -
+        vs.indices.begin());
+    for (; k < vs.indices.size(); ++k) {
+      const std::uint64_t base =
+          static_cast<std::uint64_t>(vs.indices[k]) * slice_bits_;
+      if (base >= hi) break;
+      const std::uint64_t* slice = vs.words + k * words_per_slice_;
+      for (std::uint32_t w = 0; w < words_per_slice_; ++w) {
+        const std::uint64_t word_base = base + w * 64ULL;
+        if (word_base >= hi) break;
+        if (word_base + 64 <= lo) continue;
+        std::uint64_t word = slice[w];
+        if (word_base < lo) word &= ~0ULL << (lo - word_base);
+        if (hi - word_base < 64) word &= (1ULL << (hi - word_base)) - 1;
+        while (word != 0) {
+          const int b = std::countr_zero(word);
+          fn(word_base + static_cast<std::uint64_t>(b));
+          word &= word - 1;
+        }
+      }
+    }
+  }
+
+  /// COW sub-view extraction: returns a store of the SAME shape
+  /// (num_vectors, universe, slice_bits) in which the vectors listed in
+  /// `keep` retain their slices and every other vector is empty — the
+  /// hub-replica builder of the 2D partitioner (each bank's private
+  /// working set holds just the hub columns). `keep` must be sorted,
+  /// strictly increasing and in range (throws std::invalid_argument).
+  /// Slabs whose valid slices are all kept are SHARED with this store
+  /// (a shared_ptr bump, zero copy); slabs with nothing kept all point
+  /// at one empty slab; only partially-kept slabs are rebuilt. Copies
+  /// of the result stay COW exactly like copies of a full store.
+  [[nodiscard]] SlicedStore ExtractVectors(
+      std::span<const std::uint32_t> keep) const;
+
   /// Calls fn(position) for every set bit of vector v in increasing
   /// order (drives the edge iteration of Algorithm 1).
   template <typename Fn>

@@ -73,4 +73,26 @@ TcimResult TcimAccelerator::RunOnMatrixRows(const bit::SlicedMatrix& matrix,
   return result;
 }
 
+TcimResult TcimAccelerator::RunOnMatrixPlan(
+    const bit::SlicedMatrix& matrix, graph::Orientation orientation,
+    const arch::BankExecPlan& plan) const {
+  util::Timer timer;
+  if (matrix.slice_bits() != config_.slice_bits) {
+    throw std::invalid_argument(
+        "TcimAccelerator: matrix slice width != configured slice_bits");
+  }
+
+  pim::ComputationalArray array(config_.array, config_.bit_counter);
+  arch::Controller controller(array, config_.controller);
+
+  TcimResult result;
+  result.exec = controller.RunPlan(matrix, plan);
+  result.triangles = result.exec.accumulated_bitcount /
+                     graph::CountMultiplier(orientation);
+  result.perf = EvaluatePerf(result.exec, array_model_->perf(),
+                             config_.bit_counter, config_.perf);
+  result.host_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
 }  // namespace tcim::core

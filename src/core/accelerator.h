@@ -90,6 +90,16 @@ class TcimAccelerator {
                                            std::uint32_t row_begin,
                                            std::uint32_t row_end) const;
 
+  /// Pipeline over one bank's 2D execution plan (hub lane + tail
+  /// tiles) — the shard unit of the k2dHubReplicated runtime. Same
+  /// partial-view caveats as RunOnMatrixRows: aggregate raw bitcounts
+  /// across banks before the orientation divide, and `slices` is left
+  /// empty.
+  [[nodiscard]] TcimResult RunOnMatrixPlan(const bit::SlicedMatrix& matrix,
+                                           graph::Orientation orientation,
+                                           const arch::BankExecPlan& plan)
+      const;
+
   [[nodiscard]] const TcimConfig& config() const noexcept { return config_; }
   /// The characterized device (Table I downstream values).
   [[nodiscard]] const device::MtjDevice& device() const noexcept {

@@ -33,6 +33,7 @@ arch::ExecStats MergeExecStats(std::span<const arch::ExecStats> stats) {
     merged.valid_pairs += s.valid_pairs;
     merged.row_slice_writes += s.row_slice_writes;
     merged.col_slice_writes += s.col_slice_writes;
+    merged.replica_slice_writes += s.replica_slice_writes;
     merged.bitcount_words += s.bitcount_words;
     merged.accumulated_bitcount += s.accumulated_bitcount;
     merged.spread = std::max(merged.spread, s.spread);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <span>
 #include <stdexcept>
 #include <utility>
 
@@ -80,6 +81,46 @@ void WorkerPool::WorkerLoop() {
 // --- BankPool --------------------------------------------------------------
 
 namespace {
+
+/// Translates bank `bank`'s share of the tile plan into the arch
+/// layer's execution plan (hub lane bounds + its tiles' rectangles).
+arch::BankExecPlan MakeBankExecPlan(const TilePlan2d& plan,
+                                    std::uint32_t bank) {
+  arch::BankExecPlan exec;
+  exec.hub_row_begin = plan.hub_row_bounds[bank];
+  exec.hub_row_end = plan.hub_row_bounds[bank + 1];
+  exec.hub_cols = plan.hubs;
+  exec.is_hub = plan.is_hub.empty() ? nullptr : plan.is_hub.data();
+  exec.tiles.reserve(plan.bank_tiles[bank].size());
+  for (const std::uint32_t t : plan.bank_tiles[bank]) {
+    const TileInfo& tile = plan.tiles[t];
+    exec.tiles.push_back(arch::BankExecPlan::Tile{
+        tile.row_begin, tile.row_end, tile.col_begin, tile.col_end});
+  }
+  return exec;
+}
+
+/// One hub replica store per bank: a single COW extract of the hub
+/// columns, copied per bank (slab shared_ptr bumps, not data copies).
+std::vector<bit::SlicedStore> MakeReplicas(
+    const bit::SlicedStore& cols, const std::vector<std::uint32_t>& hubs,
+    std::uint32_t num_banks) {
+  std::vector<bit::SlicedStore> replicas;
+  if (hubs.empty()) return replicas;
+  const bit::SlicedStore hub_store =
+      cols.ExtractVectors(std::span<const std::uint32_t>(hubs));
+  replicas.reserve(num_banks);
+  for (std::uint32_t b = 0; b < num_banks; ++b) {
+    replicas.push_back(hub_store);
+  }
+  return replicas;
+}
+
+void Record2dMetrics(const PartitionStats& stats) {
+  BankPoolMetrics& metrics = BankPoolMetrics::Get();
+  metrics.replica_bytes.Set(static_cast<double>(stats.replica_bytes));
+  metrics.tile_imbalance.Set(stats.tile_imbalance);
+}
 
 std::uint32_t ThreadCount(const BankPoolConfig& config) {
   if (config.num_banks == 0 || config.num_banks > kMaxBanks) {
@@ -193,14 +234,27 @@ void BankPool::RunShards(
   if (first_error) std::rethrow_exception(first_error);
 }
 
+Partition2dOptions BankPool::Options2d() const noexcept {
+  Partition2dOptions options = config_.partition2d;
+  options.slice_bits = banks_.front()->config().slice_bits;
+  return options;
+}
+
 BankPool::PreparedRun BankPool::Prepare(const graph::Graph& g) const {
   const graph::OrientedCsr csr =
       graph::Orient(g, config_.accelerator.orientation);
   const std::uint32_t slice_bits = banks_.front()->config().slice_bits;
-  return PreparedRun{
-      bit::SlicedMatrix::FromCsr(csr.num_vertices, csr.offsets, csr.neighbors,
-                                 slice_bits),
-      PartitionOrientedCsr(csr, num_banks(), config_.partition)};
+  bit::SlicedMatrix matrix = bit::SlicedMatrix::FromCsr(
+      csr.num_vertices, csr.offsets, csr.neighbors, slice_bits);
+  GraphPartition partition;
+  if (config_.partition == PartitionStrategy::k2dHubReplicated) {
+    obs::TraceSpan span("partition.plan2d", "bank", "");
+    partition = Partition2dCsr(csr, num_banks(), Options2d());
+    Record2dMetrics(partition.stats);
+  } else {
+    partition = PartitionOrientedCsr(csr, num_banks(), config_.partition);
+  }
+  return PreparedRun{std::move(matrix), std::move(partition)};
 }
 
 ClusterResult BankPool::Count(const graph::Graph& g) const {
@@ -209,10 +263,19 @@ ClusterResult BankPool::Count(const graph::Graph& g) const {
   PreparedRun run = Prepare(g);
 
   std::vector<core::TcimResult> per_bank(num_banks());
-  RunShards(run.partition, [&](std::uint32_t b, const ShardInfo& shard) {
-    per_bank[b] = banks_[b]->RunOnMatrixRows(run.matrix, orientation,
-                                             shard.row_begin, shard.row_end);
-  });
+  if (run.partition.plan2d != nullptr) {
+    const TilePlan2d& plan = *run.partition.plan2d;
+    RunShards(run.partition, [&](std::uint32_t b, const ShardInfo&) {
+      per_bank[b] =
+          banks_[b]->RunOnMatrixPlan(run.matrix, orientation,
+                                     MakeBankExecPlan(plan, b));
+    });
+  } else {
+    RunShards(run.partition, [&](std::uint32_t b, const ShardInfo& shard) {
+      per_bank[b] = banks_[b]->RunOnMatrixRows(
+          run.matrix, orientation, shard.row_begin, shard.row_end);
+    });
+  }
 
   ClusterResult cluster =
       AggregateClusterResult(std::move(run.partition), orientation,
@@ -224,6 +287,14 @@ ClusterResult BankPool::Count(const graph::Graph& g) const {
 
 std::uint64_t BankPool::HostCount(const graph::Graph& g) const {
   const PreparedRun run = Prepare(g);
+
+  if (run.partition.plan2d != nullptr) {
+    ServingPlan2d plan;
+    plan.replicas = MakeReplicas(run.matrix.cols(),
+                                 run.partition.plan2d->hubs, num_banks());
+    plan.partition = run.partition;
+    return HostCount2d(run.matrix, plan, config_.accelerator.orientation);
+  }
 
   // Each shard runs the batched host kernel over its owned row range;
   // disjoint ranges partition the raw Eq. (5) sum exactly, and the
@@ -240,6 +311,10 @@ std::uint64_t BankPool::HostCount(const graph::Graph& g) const {
 
 std::uint64_t BankPool::HostCountMatrix(const bit::SlicedMatrix& matrix,
                                         graph::Orientation orientation) const {
+  if (config_.partition == PartitionStrategy::k2dHubReplicated) {
+    const ServingPlan2d plan = BuildServingPlan2d(matrix);
+    return HostCount2d(matrix, plan, orientation);
+  }
   const GraphPartition partition =
       PartitionMatrixRows(matrix, num_banks(), config_.partition);
   std::vector<std::uint64_t> per_bank(num_banks(), 0);
@@ -249,6 +324,52 @@ std::uint64_t BankPool::HostCountMatrix(const bit::SlicedMatrix& matrix,
   std::uint64_t raw = 0;
   for (const std::uint64_t shard_count : per_bank) raw += shard_count;
   return raw / graph::CountMultiplier(orientation);
+}
+
+ServingPlan2d BankPool::BuildServingPlan2d(
+    const bit::SlicedMatrix& matrix) const {
+  obs::TraceSpan span("partition.plan2d", "bank", "");
+  ServingPlan2d plan;
+  plan.partition = Partition2dMatrix(matrix, num_banks(), Options2d());
+  plan.replicas = MakeReplicas(matrix.cols(), plan.partition.plan2d->hubs,
+                               num_banks());
+  Record2dMetrics(plan.partition.stats);
+  return plan;
+}
+
+std::uint64_t BankPool::HostCount2d(const bit::SlicedMatrix& matrix,
+                                    const ServingPlan2d& plan,
+                                    graph::Orientation orientation) const {
+  const TilePlan2d& plan2d = *plan.partition.plan2d;
+  std::vector<std::uint64_t> per_bank(num_banks(), 0);
+  RunShards(plan.partition, [&](std::uint32_t b, const ShardInfo&) {
+    const bit::SlicedStore* replica =
+        plan.replicas.empty() ? nullptr : &plan.replicas[b];
+    per_bank[b] = CountBankShard2d(matrix, plan2d, b, replica);
+  });
+  std::uint64_t raw = 0;
+  for (const std::uint64_t shard_count : per_bank) raw += shard_count;
+  return raw / graph::CountMultiplier(orientation);
+}
+
+std::uint64_t BankPool::HostCountEpoch(const EpochSnapshot& epoch) const {
+  const bit::SlicedMatrix& matrix = *epoch.matrix;
+  if (config_.partition != PartitionStrategy::k2dHubReplicated) {
+    return HostCountMatrix(matrix, epoch.orientation);
+  }
+  PlanCache2d::PlanPtr plan;
+  if (epoch.plan2d != nullptr) {
+    plan = epoch.plan2d->GetOrBuild(
+        num_banks(), [&] { return BuildServingPlan2d(matrix); });
+  }
+  // Defensive rebuild: a plan carried forward across publishes is only
+  // valid while the vertex range it was sized for still matches (the
+  // session invalidates on growth; never trust it blindly).
+  if (plan == nullptr || plan->partition.plan2d == nullptr ||
+      plan->partition.plan2d->num_vertices != matrix.num_vertices()) {
+    plan = std::make_shared<const ServingPlan2d>(BuildServingPlan2d(matrix));
+  }
+  return HostCount2d(matrix, *plan, epoch.orientation);
 }
 
 }  // namespace tcim::runtime

@@ -36,6 +36,7 @@
 #include "core/accelerator.h"
 #include "graph/graph.h"
 #include "runtime/aggregate.h"
+#include "runtime/epoch_manager.h"
 #include "runtime/partitioner.h"
 
 namespace tcim::runtime {
@@ -82,6 +83,9 @@ struct BankPoolConfig {
   /// kMaxBanks.
   std::uint32_t num_threads = 0;
   PartitionStrategy partition = PartitionStrategy::kDegreeBalanced;
+  /// 2D planner knobs, used when partition == k2dHubReplicated
+  /// (slice_bits is synced from the accelerator config).
+  Partition2dOptions partition2d;
   /// Per-bank template; controller.rng_seed is re-derived per bank.
   core::TcimConfig accelerator;
 };
@@ -116,6 +120,14 @@ class BankPool {
   [[nodiscard]] std::uint64_t HostCountMatrix(
       const bit::SlicedMatrix& matrix, graph::Orientation orientation) const;
 
+  /// HostCountMatrix against a pinned epoch snapshot, with serving-plan
+  /// reuse: under k2dHubReplicated the tile plan + per-bank hub
+  /// replicas are fetched from (or built into) the epoch's PlanCache2d
+  /// instead of re-planned per query, so steady-state queries pay only
+  /// the per-shard rectangle counts. Under 1D strategies it is exactly
+  /// HostCountMatrix. The scheduler's query path calls this.
+  [[nodiscard]] std::uint64_t HostCountEpoch(const EpochSnapshot& epoch) const;
+
   [[nodiscard]] std::uint32_t num_banks() const noexcept {
     return static_cast<std::uint32_t>(banks_.size());
   }
@@ -134,6 +146,19 @@ class BankPool {
     GraphPartition partition;
   };
   [[nodiscard]] PreparedRun Prepare(const graph::Graph& g) const;
+
+  /// The 2D planner options with slice_bits synced from the
+  /// accelerator config (the one field the two configs share).
+  [[nodiscard]] Partition2dOptions Options2d() const noexcept;
+  /// Plans the 2D partition of `matrix` and extracts the per-bank hub
+  /// replica stores (COW; shared slabs across banks).
+  [[nodiscard]] ServingPlan2d BuildServingPlan2d(
+      const bit::SlicedMatrix& matrix) const;
+  /// Host-kernel 2D fan-out: one CountBankShard2d per bank against its
+  /// replica, raw sum divided once by the orientation multiplier.
+  [[nodiscard]] std::uint64_t HostCount2d(const bit::SlicedMatrix& matrix,
+                                          const ServingPlan2d& plan,
+                                          graph::Orientation orientation) const;
 
   /// Fans one task per shard out to the worker pool and waits for all
   /// of them; the first shard exception (if any) is rethrown. Shared

@@ -27,14 +27,72 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "bitmatrix/sliced_matrix.h"
 #include "graph/graph.h"
 #include "graph/orientation.h"
+#include "runtime/partitioner.h"
 
 namespace tcim::runtime {
+
+/// A materialized 2D serving plan for one epoch: the tile/hub
+/// partition plus the per-bank hub-column replica stores (COW extracts
+/// of the epoch matrix's column store — shared slabs, so N replicas of
+/// k hub columns cost ~one copy of those columns, not N).
+struct ServingPlan2d {
+  GraphPartition partition;
+  /// One replica store per bank; same shape as the epoch matrix's
+  /// column store with non-hub vectors empty (see
+  /// bit::SlicedStore::ExtractVectors).
+  std::vector<bit::SlicedStore> replicas;
+};
+
+/// Lazily-built, shareable cache of one epoch's ServingPlan2d.
+///
+/// The pointer lives on the EpochSnapshot so the plan follows the
+/// epoch's lifetime, and StreamSession *carries the same cache object
+/// forward* across publishes whose batches provably cannot change the
+/// plan (no hub-touching ops, no vertex growth) — that carry-forward
+/// is what keeps the 2D read path from re-planning per batch. When a
+/// batch may invalidate the plan the session attaches a fresh, empty
+/// cache instead (it never mutates a published one, so pinned readers
+/// of old epochs keep their plan).
+class PlanCache2d {
+ public:
+  using PlanPtr = std::shared_ptr<const ServingPlan2d>;
+
+  /// The cached plan, or null if none was built yet.
+  [[nodiscard]] PlanPtr Get() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return plan_;
+  }
+  /// True once a plan has been built (used by the invalidation metric:
+  /// only a *built* plan being dropped counts as an invalidation).
+  [[nodiscard]] bool has_plan() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return plan_ != nullptr;
+  }
+  /// Returns the cached plan if it matches `num_banks`, else builds
+  /// one via `build` and caches it. The bank check makes a stale
+  /// carry-forward (different pool) a rebuild, never a wrong answer.
+  [[nodiscard]] PlanPtr GetOrBuild(
+      std::uint32_t num_banks,
+      const std::function<ServingPlan2d()>& build) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (plan_ == nullptr || plan_->partition.shards.size() != num_banks) {
+      plan_ = std::make_shared<const ServingPlan2d>(build());
+    }
+    return plan_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  PlanPtr plan_;
+};
 
 /// One published, immutable version of a streamed graph. Everything a
 /// reader needs to count (and to cross-check the count) without ever
@@ -50,6 +108,10 @@ struct EpochSnapshot {
   std::uint64_t triangles = 0;
   /// COW copy of the sliced matrix as of this epoch; immutable.
   std::shared_ptr<const bit::SlicedMatrix> matrix;
+  /// Shared 2D serving-plan cache (lazily built by the first 2D query
+  /// against this epoch; carried forward across publishes whose
+  /// batches cannot invalidate it — see PlanCache2d). Always non-null.
+  std::shared_ptr<PlanCache2d> plan2d = std::make_shared<PlanCache2d>();
 };
 
 class EpochManager {

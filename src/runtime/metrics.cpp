@@ -71,6 +71,8 @@ BankPoolMetrics& BankPoolMetrics::Get() {
         reg.GetHistogram("runtime.bank.shard_seconds"),
         reg.GetGauge("runtime.bank.shard_imbalance"),
         reg.GetCounter("runtime.bank.busy_micros_total"),
+        reg.GetGauge("runtime.bank.replica_bytes"),
+        reg.GetGauge("runtime.bank.tile_imbalance"),
     };
   }();
   return *metrics;
@@ -91,6 +93,7 @@ StreamMetrics& StreamMetrics::Get() {
         reg.GetHistogram("stream.apply_seconds"),
         reg.GetGauge("stream.heap_bytes"),
         reg.GetGauge("stream.shared_slab_ratio"),
+        reg.GetCounter("stream.plan_invalidations_total"),
     };
   }();
   return *metrics;

@@ -57,6 +57,8 @@ struct BankPoolMetrics {
   obs::Histogram& shard_seconds;     // one sample per shard task
   obs::Gauge& shard_imbalance;       // max/mean shard time, last run
   obs::Counter& bank_busy_micros;    // summed shard wall time, all banks
+  obs::Gauge& replica_bytes;         // 2D hub-replica bytes, last plan
+  obs::Gauge& tile_imbalance;        // 2D max/mean bank weight, last plan
 
   static BankPoolMetrics& Get();
   // Per-bank busy counter, registered on first use:
@@ -72,6 +74,7 @@ struct StreamMetrics {
   obs::Histogram& apply_seconds;     // Apply incl. publish
   obs::Gauge& heap_bytes;            // live matrix heap, last publish
   obs::Gauge& shared_slab_ratio;     // slabs shared with prior epoch
+  obs::Counter& plan_invalidations;  // 2D serving plans dropped by a batch
 
   static StreamMetrics& Get();
 };

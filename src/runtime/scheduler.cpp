@@ -362,8 +362,7 @@ void Scheduler::RunEntry(QueueEntry entry, std::vector<QueueEntry> followers,
           const EpochManager::Pin pin = entry.session->PinEpoch();
           if (hooks_.after_query_pin) hooks_.after_query_pin(pin->epoch);
           query_base.epoch = pin->epoch;
-          query_base.triangles =
-              pool_.HostCountMatrix(*pin->matrix, pin->orientation);
+          query_base.triangles = pool_.HostCountEpoch(*pin);
           query_base.num_vertices = pin->num_vertices;
           query_base.num_edges = pin->num_edges;
           query_base.batch_size = 1 + followers.size();

@@ -9,14 +9,37 @@
 
 namespace tcim::runtime {
 
+namespace {
+
+/// True when `delta` may change the previous epoch's built 2D serving
+/// plan: the vertex space grew (is_hub / tile bounds are sized to the
+/// old n), or an op endpoint is a hub column (its replicated slice
+/// data changes — either endpoint, conservatively, since orientation
+/// decides which side lands in the column store).
+bool Invalidates2dPlan(const ServingPlan2d& plan,
+                       const stream::EdgeDelta& delta,
+                       graph::VertexId new_num_vertices) {
+  const TilePlan2d* plan2d = plan.partition.plan2d.get();
+  if (plan2d == nullptr || plan2d->num_vertices != new_num_vertices) {
+    return true;
+  }
+  for (const stream::EdgeOp& op : delta.ops) {
+    if (op.u < plan2d->is_hub.size() && plan2d->is_hub[op.u] != 0) return true;
+    if (op.v < plan2d->is_hub.size() && plan2d->is_hub[op.v] != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 StreamSession::StreamSession(const graph::Graph& g,
                              stream::StreamConfig config)
     : counter_(g, config) {
   std::lock_guard<std::mutex> lock(writer_mu_);
-  (void)PublishLocked();  // epoch 0: the seed graph
+  (void)PublishLocked(nullptr);  // epoch 0: the seed graph
 }
 
-std::uint64_t StreamSession::PublishLocked() {
+std::uint64_t StreamSession::PublishLocked(const stream::EdgeDelta* delta) {
   obs::TraceSpan span("stream.publish", "stream");
   const EpochManager::Pin prev = epochs_.PinCurrent();
   EpochSnapshot snap;
@@ -29,6 +52,25 @@ std::uint64_t StreamSession::PublishLocked() {
   // shared with the previous epoch except those the batch touched.
   snap.matrix =
       std::make_shared<const bit::SlicedMatrix>(counter_.graph().matrix());
+
+  // 2D serving-plan carry-forward: the new epoch shares the previous
+  // epoch's plan cache when the batch provably cannot change a built
+  // plan (no hub-touching ops, no vertex growth) — steady-state tail
+  // traffic then re-plans zero times. Otherwise the new epoch starts
+  // with the fresh cache EpochSnapshot default-constructs; the old
+  // epoch keeps its own cache untouched, so pinned readers still see
+  // the pre-batch plan and replicas (snapshot isolation).
+  if (prev != nullptr && prev->plan2d != nullptr && delta != nullptr) {
+    const PlanCache2d::PlanPtr built = prev->plan2d->Get();
+    if (built != nullptr) {
+      if (!Invalidates2dPlan(*built, *delta, snap.num_vertices)) {
+        snap.plan2d = prev->plan2d;
+      } else {
+        plan2d_invalidations_.fetch_add(1, std::memory_order_relaxed);
+        StreamMetrics::Get().plan_invalidations.Increment();
+      }
+    }
+  }
 
   // Registry gauges of the published matrix: live heap footprint and
   // the COW effectiveness (fraction of slabs physically shared with
@@ -60,7 +102,7 @@ StreamSession::AppliedBatch StreamSession::Apply(
   util::Timer clock;
   stream::BatchResult result = counter_.ApplyBatch(delta);
   if (before_publish_) before_publish_();
-  const std::uint64_t epoch = PublishLocked();
+  const std::uint64_t epoch = PublishLocked(&delta);
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     stats_.Add(result);

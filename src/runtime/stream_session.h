@@ -24,6 +24,7 @@
 // Units: SI seconds in StreamStats; counts dimensionless.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -67,6 +68,12 @@ class StreamSession {
   [[nodiscard]] graph::Graph Snapshot() const;
   /// Aggregate over every batch applied so far.
   [[nodiscard]] StreamStats stats() const;
+  /// Built 2D serving plans dropped because a batch touched a hub
+  /// column or grew the vertex space (stream.plan_invalidations_total
+  /// for this session only; the hub-flip regression test's probe).
+  [[nodiscard]] std::uint64_t plan2d_invalidations() const noexcept {
+    return plan2d_invalidations_.load(std::memory_order_relaxed);
+  }
   /// Epoch bookkeeping (published / live / retired counters).
   [[nodiscard]] const EpochManager& epochs() const noexcept {
     return epochs_;
@@ -82,8 +89,11 @@ class StreamSession {
 
  private:
   /// Builds and publishes the snapshot of counter_'s current state.
-  /// Caller holds writer_mu_.
-  std::uint64_t PublishLocked();
+  /// `delta` is the batch that produced it (nullptr for the seed
+  /// publish) — it decides whether the previous epoch's 2D serving-
+  /// plan cache carries forward or the new epoch starts fresh. Caller
+  /// holds writer_mu_.
+  std::uint64_t PublishLocked(const stream::EdgeDelta* delta);
 
   mutable std::mutex writer_mu_;  ///< serializes Apply (and the ctor)
   stream::IncrementalCounter counter_;  ///< guarded by writer_mu_
@@ -91,6 +101,7 @@ class StreamSession {
   std::function<void()> before_publish_;  ///< test hook; set pre-concurrency
   mutable std::mutex stats_mu_;  ///< guards stats_ (readers vs writer)
   StreamStats stats_;
+  std::atomic<std::uint64_t> plan2d_invalidations_{0};
 };
 
 }  // namespace tcim::runtime

@@ -164,6 +164,69 @@ TEST(SlicedStore, RejectsMalformedInput) {
                std::invalid_argument);
 }
 
+TEST(SlicedStore, ExtractVectorsKeepsShapeAndKeptVectorsOnly) {
+  const SlicedStore s = MakeStore(
+      5, 512, {{0, 64}, {3, 130}, {}, {500}, {1, 2, 3}}, 64);
+  const std::vector<std::uint32_t> keep = {1, 3};
+  const SlicedStore sub = s.ExtractVectors(keep);
+  // Same shape — the replica substitutes for the column store 1:1.
+  EXPECT_EQ(sub.num_vectors(), s.num_vectors());
+  EXPECT_EQ(sub.universe(), s.universe());
+  EXPECT_EQ(sub.slice_bits(), s.slice_bits());
+  // Kept vectors are bit-identical; everything else is empty.
+  for (std::uint32_t v = 0; v < 5; ++v) {
+    if (std::find(keep.begin(), keep.end(), v) != keep.end()) {
+      EXPECT_EQ(sub.ToBitVector(v), s.ToBitVector(v)) << "kept " << v;
+    } else {
+      EXPECT_EQ(sub.ToBitVector(v).Count(), 0u) << "dropped " << v;
+      EXPECT_EQ(sub.SliceCount(v), 0u);
+    }
+  }
+  EXPECT_EQ(sub.set_bit_count(), 3u);  // vectors 1 and 3
+}
+
+TEST(SlicedStore, ExtractVectorsSharesFullyKeptSlabs) {
+  // Keep EVERY vector: the extract must be a pure COW copy — all
+  // slabs shared by pointer, zero words copied.
+  std::vector<std::vector<std::uint32_t>> rows(300);
+  util::Xoshiro256 rng(7);
+  for (auto& row : rows) {
+    std::uint32_t p = 0;
+    for (int k = 0; k < 6; ++k) {
+      p += 1 + static_cast<std::uint32_t>(rng.UniformBelow(100));
+      if (p < 1024) row.push_back(p);
+    }
+  }
+  const SlicedStore s = MakeStore(300, 1024, rows, 64);
+  std::vector<std::uint32_t> all(300);
+  for (std::uint32_t v = 0; v < 300; ++v) all[v] = v;
+  const SlicedStore everything = s.ExtractVectors(all);
+  EXPECT_EQ(SharedSlabCount(s, everything), s.slab_count());
+  // A partial keep still shares every slab it keeps in full.
+  const std::vector<std::uint32_t> keep_one = {5};
+  const SlicedStore partial = s.ExtractVectors(keep_one);
+  EXPECT_LT(SharedSlabCount(s, partial), s.slab_count());
+  EXPECT_EQ(partial.ToBitVector(5), s.ToBitVector(5));
+}
+
+TEST(SlicedStore, ExtractVectorsEmptyKeepGivesEmptyStore) {
+  const SlicedStore s = MakeStore(3, 256, {{0}, {64}, {128}}, 64);
+  const SlicedStore none = s.ExtractVectors({});
+  EXPECT_EQ(none.num_vectors(), 3u);
+  EXPECT_EQ(none.valid_slice_count(), 0u);
+  EXPECT_EQ(none.set_bit_count(), 0u);
+}
+
+TEST(SlicedStore, ExtractVectorsRejectsBadKeepLists) {
+  const SlicedStore s = MakeStore(3, 256, {{0}, {64}, {128}}, 64);
+  const std::vector<std::uint32_t> unsorted = {2, 0};
+  EXPECT_THROW((void)s.ExtractVectors(unsorted), std::invalid_argument);
+  const std::vector<std::uint32_t> dup = {1, 1};
+  EXPECT_THROW((void)s.ExtractVectors(dup), std::invalid_argument);
+  const std::vector<std::uint32_t> out = {3};
+  EXPECT_THROW((void)s.ExtractVectors(out), std::invalid_argument);
+}
+
 // ---------------------------------------------------------------------------
 // SlicedMatrix
 

@@ -338,5 +338,108 @@ INSTANTIATE_TEST_SUITE_P(Orientations, SnapshotOrientationTest,
                            return graph::ToString(info.param);
                          });
 
+// --- 2D serving-plan cache under streaming updates -------------------------
+
+TEST(Snapshot2dServing, HubFlipInvalidatesPlanAndPreservesPinnedEpochs) {
+  // The streaming regression of the k2dHubReplicated serving path: a
+  // batch that flips edges on a hub column must drop the carried plan
+  // (its replicas hold stale hub slices), while a pinned pre-batch
+  // epoch keeps serving exactly from its own untouched plan cache.
+  stream::StreamConfig config;
+  config.orientation = Orientation::kDegree;
+  StreamSession session(graph::Rmat(200, 1500, graph::RmatParams{}, 21),
+                        config);
+
+  runtime::BankPoolConfig pool_config;
+  pool_config.num_banks = 3;
+  pool_config.partition = runtime::PartitionStrategy::k2dHubReplicated;
+  pool_config.partition2d.hub_k = 8;
+  const runtime::BankPool pool(pool_config);
+
+  // Query the seed epoch: builds the 2D plan + replicas into its cache.
+  const EpochManager::Pin pin0 = session.PinEpoch();
+  ASSERT_NE(pin0->plan2d, nullptr);
+  ASSERT_EQ(pool.HostCountEpoch(*pin0), pin0->triangles);
+  const auto built0 = pin0->plan2d->Get();
+  ASSERT_NE(built0, nullptr);
+  ASSERT_NE(built0->partition.plan2d, nullptr);
+  ASSERT_FALSE(built0->partition.plan2d->hubs.empty());
+  EXPECT_EQ(built0->replicas.size(), 3u);  // one hub replica per bank
+  const VertexId hub = built0->partition.plan2d->hubs.front();
+
+  // Mid-apply (after the batch applied, before the new epoch
+  // publishes): nothing invalidated yet, and the pinned epoch still
+  // serves exactly from its pre-batch plan and replicas.
+  bool hook_ran = false;
+  session.SetBeforePublishHook([&] {
+    hook_ran = true;
+    EXPECT_EQ(session.plan2d_invalidations(), 0u);
+    EXPECT_EQ(pool.HostCountEpoch(*pin0), pin0->triangles);
+  });
+  EdgeDelta hub_flip;
+  hub_flip.Insert(hub, static_cast<VertexId>((hub + 1) % 200));
+  (void)session.Apply(hub_flip);
+  session.SetBeforePublishHook({});
+  EXPECT_TRUE(hook_ran);
+  EXPECT_EQ(session.plan2d_invalidations(), 1u);
+
+  // The pinned epoch's cache is untouched — same built plan object,
+  // same exact total (snapshot isolation of the serving plan).
+  EXPECT_EQ(pin0->plan2d->Get(), built0);
+  EXPECT_EQ(pool.HostCountEpoch(*pin0), pin0->triangles);
+  EXPECT_EQ(OracleCount(pin0), pin0->triangles);
+
+  // The new epoch starts with a fresh cache and re-plans exactly.
+  const EpochManager::Pin pin1 = session.PinEpoch();
+  ASSERT_NE(pin1->plan2d, nullptr);
+  EXPECT_NE(pin1->plan2d, pin0->plan2d);
+  EXPECT_FALSE(pin1->plan2d->has_plan());
+  EXPECT_EQ(pool.HostCountEpoch(*pin1), pin1->triangles);
+  EXPECT_EQ(OracleCount(pin1), pin1->triangles);
+
+  // A batch touching only tail vertices carries the built plan
+  // forward: shared cache pointer, no invalidation tick, still exact.
+  const auto built1 = pin1->plan2d->Get();
+  ASSERT_NE(built1, nullptr);
+  const std::vector<std::uint8_t>& is_hub = built1->partition.plan2d->is_hub;
+  VertexId a = 0;
+  while (a < is_hub.size() && is_hub[a] != 0) ++a;
+  VertexId b = a + 1;
+  while (b < is_hub.size() && is_hub[b] != 0) ++b;
+  ASSERT_LT(b, is_hub.size());
+  EdgeDelta tail;
+  tail.Insert(a, b);
+  (void)session.Apply(tail);
+  EXPECT_EQ(session.plan2d_invalidations(), 1u);
+  const EpochManager::Pin pin2 = session.PinEpoch();
+  EXPECT_EQ(pin2->plan2d, pin1->plan2d);
+  EXPECT_EQ(pool.HostCountEpoch(*pin2), pin2->triangles);
+  EXPECT_EQ(OracleCount(pin2), pin2->triangles);
+}
+
+TEST(Snapshot2dServing, VertexGrowthInvalidatesCarriedPlan) {
+  // is_hub / tile bounds are sized to the old n: growing the vertex
+  // space must always drop a built plan, even when no hub is touched.
+  StreamSession session(graph::ErdosRenyi(100, 500, 5));
+  runtime::BankPoolConfig pool_config;
+  pool_config.num_banks = 2;
+  pool_config.partition = runtime::PartitionStrategy::k2dHubReplicated;
+  pool_config.partition2d.hub_k = 4;
+  const runtime::BankPool pool(pool_config);
+
+  const EpochManager::Pin pin0 = session.PinEpoch();
+  ASSERT_EQ(pool.HostCountEpoch(*pin0), pin0->triangles);
+  ASSERT_TRUE(pin0->plan2d->has_plan());
+
+  EdgeDelta grow;
+  grow.Insert(150, 151);  // beyond the seed's 100 vertices
+  (void)session.Apply(grow);
+  EXPECT_EQ(session.plan2d_invalidations(), 1u);
+  const EpochManager::Pin pin1 = session.PinEpoch();
+  EXPECT_FALSE(pin1->plan2d->has_plan());
+  EXPECT_EQ(pool.HostCountEpoch(*pin1), pin1->triangles);
+  EXPECT_EQ(OracleCount(pin1), pin1->triangles);
+}
+
 }  // namespace
 }  // namespace tcim

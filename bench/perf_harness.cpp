@@ -2,28 +2,44 @@
 //
 // Sweeps every supported KernelBackend over (a) raw AND+popcount span
 // throughput and (b) the end-to-end Eq. (5) pass (AndPopcountAllEdges)
-// on the Table II dataset stand-ins — both the batched-gather hot path
-// and the legacy dispatch-per-slice-pair formulation it replaced, so
-// the batching win stays measured, not assumed. Every count is
-// cross-checked against the CPU baseline and the results land in a
-// machine-readable BENCH_kernels.json (schema_version 3; see
-// docs/KERNELS.md for the schema and the regression workflow). Every
-// dump is stamped with run metadata — UTC date, compiler, TCIM_SCALE,
-// active kernel backend — so archived JSONs stay attributable.
+// on the Table II dataset stand-ins — under each pair-enumeration
+// policy (adaptive auto, forced batched arena, forced zero-copy) plus
+// the legacy dispatch-per-slice-pair formulation, so every crossover
+// the adaptive policy encodes stays measured, not assumed. Part (c)
+// measures the load-time relabeling choice (graph::ChooseRelabeling):
+// valid-slice counts under the chosen order vs the native ids, and vs
+// an id-shuffled instance standing in for real SNAP labelings. Every
+// count is cross-checked against the CPU baseline and the results
+// land in a machine-readable BENCH_kernels.json (schema_version 4;
+// see docs/KERNELS.md for the schema and the regression workflow).
+// Every dump is stamped with run metadata — UTC date, compiler,
+// TCIM_SCALE, active kernel backend — so archived JSONs stay
+// attributable.
 //
 // Usage:
 //   perf_harness [--out FILE] [--print-best] [--check]
 //     --out FILE     JSON output path (default BENCH_kernels.json)
 //     --print-best   print the widest supported backend name and exit
 //                    (used by CI to build its forced-backend matrix)
-//     --check        exit non-zero when the best supported backend's
-//                    end-to-end time is worse than scalar's (beyond a
-//                    10% noise allowance) on any dataset row — the
-//                    perf_smoke ctest/CI gate for the dispatch-bound
-//                    regression class this harness exists to catch
+//     --check        exit non-zero when any floor fails:
+//                    * best backend >10% slower than scalar end-to-end
+//                      on any dataset row (the dispatch-bound
+//                      regression class this harness exists to catch);
+//                    * the adaptive policy loses more than 5% to the
+//                      best forced alternative on any row of the best
+//                      backend (floor via TCIM_CHECK_BATCH_MIN,
+//                      default 0.95);
+//                    * a road-graph |S|=512 row where the adaptive
+//                      policy drops below 0.97x of per-pair dispatch
+//                      (the gather-bound regression the zero-copy
+//                      path fixes showed 19% there);
+//                    * relabeling: the auto choice increases the
+//                      valid-slice count of any dataset, or fails to
+//                      reduce it on >= 6 of 9 id-shuffled instances.
 //
-// Knobs: TCIM_SCALE / TCIM_SEED / TCIM_DATA_DIR as in every bench, and
-// TCIM_KERNEL has no effect here — the harness forces each backend
+// Knobs: TCIM_SCALE / TCIM_SEED / TCIM_DATA_DIR as in every bench,
+// TCIM_CHECK_BATCH_MIN as above; TCIM_KERNEL and TCIM_PAIR_POLICY
+// have no effect here — the harness forces each backend and policy
 // explicitly.
 #include <algorithm>
 #include <cstdint>
@@ -39,7 +55,9 @@
 #include "bitmatrix/sliced_matrix.h"
 #include "core/bitwise_tc.h"
 #include "graph/orientation.h"
+#include "graph/relabel.h"
 #include "obs/metrics.h"
+#include "util/env.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -57,10 +75,15 @@ struct ThroughputResult {
 
 struct BackendLatency {
   bit::KernelBackend backend;
-  double seconds = 0.0;           ///< batched hot path (AndPopcountAllEdges)
-  double per_edge_seconds = 0.0;  ///< legacy dispatch-per-slice-pair loop
-  double speedup_vs_scalar = 1.0; ///< batched vs batched-scalar
-  double batch_speedup = 1.0;     ///< per_edge_seconds / seconds
+  double seconds = 0.0;            ///< adaptive hot path (policy auto)
+  double batched_seconds = 0.0;    ///< forced TCIM_PAIR_POLICY=batched
+  double zero_copy_seconds = 0.0;  ///< forced TCIM_PAIR_POLICY=zerocopy
+  double per_edge_seconds = 0.0;   ///< legacy dispatch-per-slice-pair loop
+  double speedup_vs_scalar = 1.0;  ///< adaptive vs adaptive-scalar
+  double batch_speedup = 1.0;      ///< per_edge / batched (paired)
+  double zero_copy_speedup = 1.0;  ///< per_edge / zero_copy (paired)
+  double adaptive_speedup = 1.0;   ///< per_edge / adaptive (paired)
+  double auto_vs_best = 1.0;       ///< best forced alt / adaptive (paired)
 };
 
 struct EndToEndResult {
@@ -68,8 +91,75 @@ struct EndToEndResult {
   std::uint32_t slice_bits = 64;
   std::uint64_t triangles = 0;
   bool verified = false;
+  /// Where the adaptive policy routed this row's flush batches
+  /// (backend-independent: a function of slice width and pair counts).
+  bit::PairPathCounters paths;
   std::vector<BackendLatency> backends;
+
+  /// Dominant adaptive path of the row, by pair count.
+  [[nodiscard]] std::string Policy() const {
+    if (paths.zero_copy_pairs >= paths.batched_pairs &&
+        paths.zero_copy_pairs >= paths.per_pair_pairs) {
+      return "zerocopy";
+    }
+    return paths.batched_pairs >= paths.per_pair_pairs ? "batched"
+                                                       : "perpair";
+  }
 };
+
+/// Load-time relabeling measurement of one dataset (|S| = 64 valid
+/// slices, kUpper orientation): what ChooseRelabeling(kAuto) picked on
+/// the native ids, and what it recovers from an id-shuffled instance
+/// (the stand-in for real SNAP labelings, which arrive arbitrary).
+struct RelabelRow {
+  std::string dataset;
+  graph::RelabelMode applied = graph::RelabelMode::kNone;
+  std::uint64_t identity_nvs = 0;
+  std::uint64_t chosen_nvs = 0;
+  graph::RelabelMode shuffled_applied = graph::RelabelMode::kNone;
+  std::uint64_t shuffled_nvs = 0;
+  std::uint64_t shuffled_chosen_nvs = 0;
+
+  [[nodiscard]] double NativeRatio() const {
+    return identity_nvs == 0 ? 1.0
+                             : static_cast<double>(chosen_nvs) /
+                                   static_cast<double>(identity_nvs);
+  }
+  [[nodiscard]] double ShuffledRatio() const {
+    return shuffled_nvs == 0 ? 1.0
+                             : static_cast<double>(shuffled_chosen_nvs) /
+                                   static_cast<double>(shuffled_nvs);
+  }
+};
+
+/// ChooseRelabeling on the native ids and on a deterministic
+/// id-shuffle of the same graph.
+RelabelRow MeasureRelabel(const graph::DatasetInstance& inst) {
+  RelabelRow row;
+  row.dataset = graph::GetPaperRef(inst.id).name;
+  const graph::RelabelChoice native =
+      graph::ChooseRelabeling(inst.graph, graph::RelabelMode::kAuto, 64);
+  row.applied = native.applied;
+  row.identity_nvs = native.identity_valid_slices;
+  row.chosen_nvs = native.chosen_valid_slices;
+
+  const graph::VertexId n = inst.graph.num_vertices();
+  std::vector<graph::VertexId> order(n);
+  for (graph::VertexId v = 0; v < n; ++v) order[v] = v;
+  util::Xoshiro256 rng(util::BaseSeed() ^ 0x9e3779b97f4a7c15ULL);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.UniformBelow(i)]);
+  }
+  graph::VertexRelabeling perm;
+  for (const graph::VertexId v : order) (void)perm.ToInternal(v);
+  const graph::Graph shuffled = perm.Apply(inst.graph);
+  const graph::RelabelChoice recovered =
+      graph::ChooseRelabeling(shuffled, graph::RelabelMode::kAuto, 64);
+  row.shuffled_applied = recovered.applied;
+  row.shuffled_nvs = recovered.identity_valid_slices;
+  row.shuffled_chosen_nvs = recovered.chosen_valid_slices;
+  return row;
+}
 
 /// The dispatch-per-slice-pair formulation the batched kernel replaced
 /// (one AndPopcount call per valid pair): kept here as the measured
@@ -222,10 +312,18 @@ EndToEndResult MeasureEndToEnd(const graph::DatasetInstance& inst,
   const bit::SlicedMatrix matrix = core::BuildSlicedMatrix(
       inst.graph, graph::Orientation::kUpper, slice_bits);
 
+  // One instrumented pass records where the adaptive policy routes
+  // this row's flush batches (backend-independent).
+  (void)matrix.AndPopcountAllEdges(bit::PopcountKind::kBuiltin,
+                                   &result.paths);
+
   const bit::KernelBackend saved = bit::ActiveBackend();
+  const bit::PairPolicyConfig saved_policy = bit::ActivePairPolicy();
   const std::span<const bit::KernelBackend> backends =
       bit::SupportedKernelBackends();
+  std::vector<CellSamples> adaptive(backends.size());
   std::vector<CellSamples> batched(backends.size());
+  std::vector<CellSamples> zero_copy(backends.size());
   std::vector<CellSamples> per_edge(backends.size());
   std::vector<std::uint64_t> counts(backends.size(), 0);
   std::size_t scalar_index = 0;
@@ -255,6 +353,7 @@ EndToEndResult MeasureEndToEnd(const graph::DatasetInstance& inst,
       // kept out of scalar's own cell so that cell's Best()/pairing
       // stays sampled identically to every other backend's.
       double scalar_companion = 0.0;
+      bit::SetActivePairPolicy(std::nullopt);
       if (k != scalar_index) {
         bit::SetActiveBackend(bit::KernelBackend::kScalar);
         util::Timer companion_timer;
@@ -262,22 +361,35 @@ EndToEndResult MeasureEndToEnd(const graph::DatasetInstance& inst,
         scalar_companion = companion_timer.ElapsedSeconds();
       }
       bit::SetActiveBackend(backends[k]);
-      batched[k].Measure([&] { counts[k] = matrix.AndPopcountAllEdges(); });
+      adaptive[k].Measure([&] { counts[k] = matrix.AndPopcountAllEdges(); });
       if (k != scalar_index) {
-        vs_scalar[k].push_back(scalar_companion / batched[k].rounds.back());
+        vs_scalar[k].push_back(scalar_companion / adaptive[k].rounds.back());
       }
-      std::uint64_t count = 0;
-      per_edge[k].Measure([&] { count = PerEdgeAndPopcountAllEdges(matrix); });
-      if (count != counts[k]) {
+      std::uint64_t count_batched = 0;
+      bit::SetActivePairPolicy(bit::PairPolicy::kBatched);
+      batched[k].Measure(
+          [&] { count_batched = matrix.AndPopcountAllEdges(); });
+      std::uint64_t count_zero_copy = 0;
+      bit::SetActivePairPolicy(bit::PairPolicy::kZeroCopy);
+      zero_copy[k].Measure(
+          [&] { count_zero_copy = matrix.AndPopcountAllEdges(); });
+      bit::SetActivePairPolicy(std::nullopt);
+      std::uint64_t count_per_edge = 0;
+      per_edge[k].Measure(
+          [&] { count_per_edge = PerEdgeAndPopcountAllEdges(matrix); });
+      if (count_batched != counts[k] || count_zero_copy != counts[k] ||
+          count_per_edge != counts[k]) {
         std::cerr << "FATAL: backend " << bit::ToString(backends[k])
-                  << " batched/per-edge counts diverge on " << result.dataset
+                  << " pair-policy counts diverge on " << result.dataset
                   << "\n";
         std::exit(1);
       }
-      all_done = all_done && batched[k].Done() && per_edge[k].Done();
+      all_done = all_done && adaptive[k].Done() && batched[k].Done() &&
+                 zero_copy[k].Done() && per_edge[k].Done();
     }
   }
   bit::SetActiveBackend(saved);
+  bit::SetActivePairPolicy(saved_policy.forced);
 
   for (std::size_t k = 0; k < backends.size(); ++k) {
     const std::uint64_t triangles =
@@ -292,12 +404,27 @@ EndToEndResult MeasureEndToEnd(const graph::DatasetInstance& inst,
     }
     BackendLatency lat;
     lat.backend = backends[k];
-    lat.seconds = batched[k].Best();
+    lat.seconds = adaptive[k].Best();
+    lat.batched_seconds = batched[k].Best();
+    lat.zero_copy_seconds = zero_copy[k].Best();
     lat.per_edge_seconds = per_edge[k].Best();
     // Ratios are medians of paired comparisons, not ratios of
     // independently-sampled minima: both samples of a pair ran
     // back-to-back, so common drift cancels.
     lat.batch_speedup = PairedRatio(per_edge[k].rounds, batched[k].rounds);
+    lat.zero_copy_speedup =
+        PairedRatio(per_edge[k].rounds, zero_copy[k].rounds);
+    lat.adaptive_speedup =
+        PairedRatio(per_edge[k].rounds, adaptive[k].rounds);
+    // Best forced alternative vs the adaptive pass: the "did auto
+    // pick right" audit (--check floor). Min of the per-alternative
+    // paired medians, NOT a per-round min of three noisy samples —
+    // min-of-k noise is biased low by ~1 sigma, which read as a fake
+    // ~5% adaptive deficit on sub-millisecond rows.
+    lat.auto_vs_best =
+        std::min({PairedRatio(batched[k].rounds, adaptive[k].rounds),
+                  PairedRatio(zero_copy[k].rounds, adaptive[k].rounds),
+                  lat.adaptive_speedup});
     lat.speedup_vs_scalar = k == scalar_index ? 1.0 : Median(vs_scalar[k]);
     result.backends.push_back(lat);
   }
@@ -315,7 +442,8 @@ std::string JsonEscape(const std::string& s) {
 
 void WriteJson(const std::string& path,
                const std::vector<ThroughputResult>& throughput,
-               const std::vector<EndToEndResult>& end_to_end) {
+               const std::vector<EndToEndResult>& end_to_end,
+               const std::vector<RelabelRow>& relabel) {
   std::ofstream os(path);
   if (!os) {
     std::cerr << "FATAL: cannot write " << path << "\n";
@@ -323,7 +451,7 @@ void WriteJson(const std::string& path,
   }
   os << "{\n";
   os << "  \"bench\": \"kernels\",\n";
-  os << "  \"schema_version\": 3,\n";
+  os << "  \"schema_version\": 4,\n";
   os << "  \"scale\": " << util::WorkloadScale(0.25) << ",\n";
   os << "  \"seed\": " << util::BaseSeed() << ",\n";
   // v3: run-attribution stamp (obs::CollectRunMetadata) + the backend
@@ -365,16 +493,43 @@ void WriteJson(const std::string& path,
        << "\", \"slice_bits\": " << e.slice_bits
        << ", \"triangles\": " << e.triangles
        << ", \"verified\": " << (e.verified ? "true" : "false")
+       << ", \"policy\": \"" << e.Policy() << "\""
+       << ", \"pairs\": {\"batched\": " << e.paths.batched_pairs
+       << ", \"zerocopy\": " << e.paths.zero_copy_pairs
+       << ", \"perpair\": " << e.paths.per_pair_pairs << "}"
        << ", \"backends\": [";
     for (std::size_t j = 0; j < e.backends.size(); ++j) {
       const auto& lat = e.backends[j];
       os << (j == 0 ? "" : ", ") << "{\"backend\": \""
          << bit::ToString(lat.backend) << "\", \"seconds\": " << lat.seconds
+         << ", \"batched_seconds\": " << lat.batched_seconds
+         << ", \"zero_copy_seconds\": " << lat.zero_copy_seconds
          << ", \"per_edge_seconds\": " << lat.per_edge_seconds
          << ", \"batch_speedup\": " << lat.batch_speedup
+         << ", \"zero_copy_speedup\": " << lat.zero_copy_speedup
+         << ", \"adaptive_speedup\": " << lat.adaptive_speedup
+         << ", \"auto_vs_best\": " << lat.auto_vs_best
          << ", \"speedup_vs_scalar\": " << lat.speedup_vs_scalar << "}";
     }
     os << "]}" << (i + 1 < end_to_end.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+
+  // v4: load-time relabeling audit (NVS = valid slices at |S|=64).
+  os << "  \"relabel\": [\n";
+  for (std::size_t i = 0; i < relabel.size(); ++i) {
+    const auto& r = relabel[i];
+    os << "    {\"dataset\": \"" << JsonEscape(r.dataset)
+       << "\", \"applied\": \"" << graph::ToString(r.applied)
+       << "\", \"identity_valid_slices\": " << r.identity_nvs
+       << ", \"chosen_valid_slices\": " << r.chosen_nvs
+       << ", \"nvs_ratio\": " << r.NativeRatio()
+       << ", \"shuffled_applied\": \""
+       << graph::ToString(r.shuffled_applied)
+       << "\", \"shuffled_valid_slices\": " << r.shuffled_nvs
+       << ", \"shuffled_chosen_valid_slices\": " << r.shuffled_chosen_nvs
+       << ", \"shuffled_nvs_ratio\": " << r.ShuffledRatio() << "}"
+       << (i + 1 < relabel.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
 }
@@ -441,6 +596,7 @@ int main(int argc, char** argv) {
 
   // --- Part B: end-to-end Eq. (5) pass ------------------------------------
   std::vector<EndToEndResult> end_to_end;
+  std::vector<RelabelRow> relabel;
   for (const graph::PaperRef& ref : graph::AllPaperRefs()) {
     const graph::DatasetInstance inst = bench::LoadDataset(ref.id);
     bench::PrintProvenance(std::cout, inst);
@@ -456,6 +612,7 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+    relabel.push_back(MeasureRelabel(inst));
   }
   {
     std::vector<std::string> headers = {"Dataset", "|S|", "Triangles",
@@ -467,6 +624,8 @@ int main(int argc, char** argv) {
       headers.push_back(std::string(bit::ToString(backend)) + " [ms]");
       aligns.push_back(util::Align::kRight);
     }
+    headers.push_back("policy");
+    aligns.push_back(util::Align::kLeft);
     headers.push_back("vs per-edge");
     aligns.push_back(util::Align::kRight);
     util::TablePrinter table(headers, aligns);
@@ -476,21 +635,45 @@ int main(int argc, char** argv) {
           e.dataset, std::to_string(e.slice_bits),
           util::TablePrinter::WithThousands(e.triangles),
           e.verified ? "yes" : "NO"};
-      double best_batch_speedup = 1.0;
+      double best_adaptive_speedup = 1.0;
       for (const auto& lat : e.backends) {
         row.push_back(util::TablePrinter::Fixed(lat.seconds * 1e3, 2));
-        if (lat.backend == best_backend) best_batch_speedup = lat.batch_speedup;
+        if (lat.backend == best_backend) {
+          best_adaptive_speedup = lat.adaptive_speedup;
+        }
       }
-      row.push_back(util::TablePrinter::Ratio(best_batch_speedup, 2));
+      row.push_back(e.Policy());
+      row.push_back(util::TablePrinter::Ratio(best_adaptive_speedup, 2));
       table.AddRow(row);
     }
     std::cout << "\nEnd-to-end AndPopcountAllEdges (fastest of a timed "
-                 "window, upper orientation; last column: batched vs the "
+                 "window, upper orientation, adaptive pair policy; last "
+                 "columns: where auto routed the row and adaptive vs the "
                  "dispatch-per-pair loop on the best backend):\n";
     table.Print(std::cout);
   }
 
-  WriteJson(out_path, throughput, end_to_end);
+  // --- Part C: load-time relabeling ---------------------------------------
+  {
+    util::TablePrinter table(
+        {"Dataset", "Auto picks", "NVS ratio", "Shuffled picks",
+         "NVS ratio (shuffled)"},
+        {util::Align::kLeft, util::Align::kLeft, util::Align::kRight,
+         util::Align::kLeft, util::Align::kRight});
+    for (const auto& r : relabel) {
+      table.AddRow({r.dataset, std::string(graph::ToString(r.applied)),
+                    util::TablePrinter::Ratio(r.NativeRatio(), 3),
+                    std::string(graph::ToString(r.shuffled_applied)),
+                    util::TablePrinter::Ratio(r.ShuffledRatio(), 3)});
+    }
+    std::cout << "\nLoad-time relabeling (ChooseRelabeling auto, NVS = "
+                 "valid slices at |S|=64; the shuffled columns measure the "
+                 "recovery from arbitrary input ids, the regime real SNAP "
+                 "files arrive in):\n";
+    table.Print(std::cout);
+  }
+
+  WriteJson(out_path, throughput, end_to_end, relabel);
   std::cout << "\nWrote " << out_path << "\n";
 
   // Closing check mirrored by the JSON: the widest SIMD backend should
@@ -507,40 +690,98 @@ int main(int argc, char** argv) {
             << (best_simd >= 2.0 ? "  [OK >= 2x]" : "  [WARN < 2x]") << "\n";
 
   if (check) {
-    // The perf_smoke gate: with the batched hot path, every backend
-    // shares the gather cost, so the widest backend can only lose to
-    // scalar through a dispatch-granularity regression — exactly the
-    // class of bug this harness exists to catch. 10% allowance covers
-    // scheduler noise on shared runners; a real regression (the
-    // schema-v1 seed showed up to -20% at |S|=64) clears it easily.
+    // The perf_smoke gates. Floor 1: with a shared gather cost the
+    // widest backend can only lose to scalar through a dispatch-
+    // granularity regression — the class of bug this harness exists
+    // to catch. 10% allowance covers scheduler noise on shared
+    // runners; a real regression (the schema-v1 seed showed up to
+    // -20% at |S|=64) clears it easily.
     constexpr double kNoiseAllowance = 0.90;  // speedup floor
+    // Floor 2: the adaptive pair policy must stay within
+    // TCIM_CHECK_BATCH_MIN (default 0.95) of the best forced
+    // alternative on every row — a policy that picks a losing path
+    // fails here even when the row is still faster than scalar.
+    const double batch_min =
+        util::EnvDouble("TCIM_CHECK_BATCH_MIN", 0.95, 0.0, 10.0);
     const bit::KernelBackend best_backend = bit::BestSupportedBackend();
     int failures = 0;
-    std::cout << "\n--check: end-to-end "
-              << bit::ToString(best_backend) << " vs scalar\n";
+    std::cout << "\n--check: end-to-end " << bit::ToString(best_backend)
+              << " vs scalar, adaptive-policy floors (auto-vs-best >= "
+              << util::TablePrinter::Ratio(batch_min, 2)
+              << ", road |S|=512 adaptive >= 0.97x per-pair), relabeling\n";
     for (const auto& e : end_to_end) {
       double speedup = 1.0;
+      double auto_vs_best = 1.0;
+      double adaptive_speedup = 1.0;
       for (const auto& lat : e.backends) {
-        if (lat.backend == best_backend) speedup = lat.speedup_vs_scalar;
+        if (lat.backend == best_backend) {
+          speedup = lat.speedup_vs_scalar;
+          auto_vs_best = lat.auto_vs_best;
+          adaptive_speedup = lat.adaptive_speedup;
+        }
       }
-      const bool ok = speedup >= kNoiseAllowance;
-      if (!ok) {
+      if (speedup < kNoiseAllowance) {
         ++failures;
         std::cout << "  FAIL " << e.dataset << " |S|=" << e.slice_bits << ": "
                   << bit::ToString(best_backend) << " at "
                   << util::TablePrinter::Ratio(speedup, 3)
                   << " vs scalar (paired-median end-to-end)\n";
       }
+      if (auto_vs_best < batch_min) {
+        ++failures;
+        std::cout << "  FAIL " << e.dataset << " |S|=" << e.slice_bits
+                  << ": adaptive policy (" << e.Policy() << ") at "
+                  << util::TablePrinter::Ratio(auto_vs_best, 3)
+                  << " of the best forced alternative\n";
+      }
+      // The gather-bound regression this PR fixed: sparse road rows at
+      // |S|=512 must no longer lose to per-pair dispatch. The true
+      // adaptive gain on these rows is a modest 3–7%, so the floor
+      // sits 3% under parity — far above the 19% regression the
+      // batched arena used to show here, but not flaky when a round
+      // lands at 0.99x.
+      constexpr double kRoadFloor = 0.97;
+      if (e.dataset.rfind("roadNet", 0) == 0 && e.slice_bits == 512 &&
+          adaptive_speedup < kRoadFloor) {
+        ++failures;
+        std::cout << "  FAIL " << e.dataset
+                  << " |S|=512: adaptive policy at "
+                  << util::TablePrinter::Ratio(adaptive_speedup, 3)
+                  << " vs per-pair dispatch (gather-bound regression)\n";
+      }
+    }
+    // Floor 3: relabeling. Auto must never pick a worse-than-identity
+    // order (it scores identity too, so chosen <= identity by
+    // construction — a violation means the NVS estimator broke), and
+    // from arbitrary (shuffled) input ids it must recover a reduction
+    // on at least 6 of the 9 datasets.
+    int shuffled_reduced = 0;
+    for (const auto& r : relabel) {
+      if (r.chosen_nvs > r.identity_nvs) {
+        ++failures;
+        std::cout << "  FAIL " << r.dataset
+                  << ": auto relabel increased valid slices ("
+                  << r.identity_nvs << " -> " << r.chosen_nvs << ")\n";
+      }
+      if (r.ShuffledRatio() < 1.0) ++shuffled_reduced;
+    }
+    if (shuffled_reduced < 6 && relabel.size() >= 6) {
+      ++failures;
+      std::cout << "  FAIL relabeling: shuffled-id valid-slice reduction on "
+                << shuffled_reduced << "/" << relabel.size()
+                << " datasets (need >= 6)\n";
     }
     if (failures != 0) {
-      std::cout << "perf_smoke: FAIL — " << failures
-                << " dataset row(s) where " << bit::ToString(best_backend)
-                << " is >10% slower than scalar end-to-end\n";
+      std::cout << "perf_smoke: FAIL — " << failures << " floor "
+                << "violation(s); see rows above\n";
       return 1;
     }
     std::cout << "perf_smoke: OK — " << bit::ToString(best_backend)
-              << " is never worse than scalar (within noise) on "
-              << end_to_end.size() << " rows\n";
+              << " never worse than scalar, adaptive policy within "
+              << util::TablePrinter::Ratio(batch_min, 2)
+              << " of best on all " << end_to_end.size()
+              << " rows, roads >= per-pair at |S|=512, relabeling sound on "
+              << relabel.size() << " datasets\n";
   }
   return 0;
 }

@@ -21,11 +21,14 @@
 //
 // Prints a human-readable report by default, or a single JSON object
 // with --json (for scripting sweeps).
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "baseline/cpu_tc.h"
+#include "graph/relabel.h"
 #include "bitmatrix/kernel_backend.h"
 #include "core/accelerator.h"
 #include "graph/datasets.h"
@@ -58,6 +61,8 @@ struct Options {
   std::string partition = "degree";
   std::string stream;
   double recount_fraction = 0.01;
+  std::string relabel = "auto";
+  std::uint32_t top = 0;
   bool json = false;
   bool metrics_json = false;
   bool verify = true;
@@ -92,6 +97,15 @@ void Usage() {
       "                      '=' commits a batch)\n"
       "  --recount-frac X    fall back to a full recount when a batch exceeds\n"
       "                      X * edges normalized ops (default 0.01)\n"
+      "  --relabel R         auto (default) | degree | bfs | none — rename "
+      "vertices\n"
+      "                      before slicing (auto keeps whichever of "
+      "identity/degree/\n"
+      "                      bfs yields the fewest valid slices); all output "
+      "stays in\n"
+      "                      the original ids\n"
+      "  --top N             report the N highest-degree vertices (original "
+      "ids)\n"
       "  --json              machine-readable output\n"
       "  --metrics-json      append the obs registry scrape (scheduler/epoch/\n"
       "                      store/stream metrics) as one JSON object on its\n"
@@ -161,6 +175,14 @@ bool Parse(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (!v) return false;
       opt.recount_fraction = std::stod(v);
+    } else if (arg == "--relabel") {
+      const char* v = next();
+      if (!v) return false;
+      opt.relabel = v;
+    } else if (arg == "--top") {
+      const char* v = next();
+      if (!v) return false;
+      opt.top = static_cast<std::uint32_t>(std::stoul(v));
     } else if (arg == "--json") {
       opt.json = true;
     } else if (arg == "--metrics-json") {
@@ -178,6 +200,56 @@ bool Parse(int argc, char** argv, Options& opt) {
   return true;
 }
 
+/// One row of the --top per-vertex surface: a vertex named by its
+/// ORIGINAL id (inverse relabel map applied) and its degree.
+struct TopEntry {
+  graph::VertexId vertex = 0;
+  std::uint64_t degree = 0;
+};
+
+/// The N highest-degree vertices of `g`, named by original ids.
+/// Ordered by (degree desc, original id asc) — the tie-break uses the
+/// original id deliberately, so a relabeled and an unrelabeled run
+/// emit identical lists (the round-trip check in tests/relabel_test).
+std::vector<TopEntry> TopDegrees(const graph::Graph& g,
+                                 const graph::VertexRelabeling* map,
+                                 std::uint32_t n) {
+  std::vector<TopEntry> all;
+  all.reserve(g.num_vertices());
+  for (graph::VertexId internal = 0; internal < g.num_vertices();
+       ++internal) {
+    const graph::VertexId original =
+        map != nullptr ? map->ToOriginal(internal) : internal;
+    all.push_back(TopEntry{original, g.Degree(internal)});
+  }
+  const std::size_t k = std::min<std::size_t>(n, all.size());
+  std::partial_sort(all.begin(),
+                    all.begin() + static_cast<std::ptrdiff_t>(k), all.end(),
+                    [](const TopEntry& a, const TopEntry& b) {
+                      if (a.degree != b.degree) return a.degree > b.degree;
+                      return a.vertex < b.vertex;
+                    });
+  all.resize(k);
+  return all;
+}
+
+void EmitTopJson(std::ostream& os, const std::vector<TopEntry>& top) {
+  os << ",\"top\":[";
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    os << (i == 0 ? "" : ",") << "{\"vertex\":" << top[i].vertex
+       << ",\"degree\":" << top[i].degree << "}";
+  }
+  os << "]";
+}
+
+void EmitTopRows(util::TablePrinter& t, const std::vector<TopEntry>& top) {
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    t.AddRow({"top[" + std::to_string(i) + "]",
+              "v" + std::to_string(top[i].vertex) + " deg " +
+                  std::to_string(top[i].degree)});
+  }
+}
+
 /// Report fields shared by the single-accelerator and multi-bank
 /// paths; the path-specific middle is injected as a callback so new
 /// common fields land in both outputs.
@@ -190,6 +262,9 @@ struct ReportCommon {
   double host_seconds = 0.0;
   bool verify_requested = true;
   bool verified = true;
+  std::string relabel = "none";
+  double relabel_nvs_ratio = 1.0;
+  std::vector<TopEntry> top;
 };
 
 template <typename JsonMiddle, typename TableMiddle>
@@ -199,7 +274,10 @@ int EmitReport(bool json, const ReportCommon& c, JsonMiddle&& json_middle,
     std::cout << "{\"source\":\"" << c.source
               << "\",\"vertices\":" << c.g->num_vertices()
               << ",\"edges\":" << c.g->num_edges()
-              << ",\"triangles\":" << c.triangles;
+              << ",\"triangles\":" << c.triangles
+              << ",\"relabel\":\"" << c.relabel << "\""
+              << ",\"relabel_nvs_ratio\":" << c.relabel_nvs_ratio;
+    if (!c.top.empty()) EmitTopJson(std::cout, c.top);
     json_middle(std::cout);
     std::cout << ",\"chip_energy_j\":" << c.chip_energy_j
               << ",\"platform_energy_j\":" << c.platform_energy_j
@@ -215,6 +293,10 @@ int EmitReport(bool json, const ReportCommon& c, JsonMiddle&& json_middle,
     t.AddRow({"vertices", TablePrinter::WithThousands(c.g->num_vertices())});
     t.AddRow({"edges", TablePrinter::WithThousands(c.g->num_edges())});
     t.AddRow({"triangles", TablePrinter::WithThousands(c.triangles)});
+    t.AddRow({"relabel", c.relabel});
+    t.AddRow({"relabel NVS ratio",
+              TablePrinter::Ratio(c.relabel_nvs_ratio, 3)});
+    EmitTopRows(t, c.top);
     table_middle(t);
     t.AddRow({"chip energy", tcim::util::FormatJoules(c.chip_energy_j)});
     t.AddRow({"platform energy",
@@ -273,6 +355,27 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Load-time relabeling: rename vertices so dense rows/columns share
+  // contiguous id blocks before slicing — fewer valid slices, smaller
+  // |Ri ∩ Cj| merges. Pure bijection; every id printed below goes back
+  // through the inverse map, so the rename is invisible in the output.
+  const std::optional<graph::RelabelMode> relabel_mode =
+      graph::ParseRelabelMode(opt.relabel);
+  if (!relabel_mode.has_value()) {
+    std::cerr << "unknown relabel mode " << opt.relabel
+              << " (auto|degree|bfs|none)\n";
+    return 2;
+  }
+  graph::RelabelChoice relabel =
+      graph::ChooseRelabeling(g, *relabel_mode, opt.slice_bits);
+  const bool relabeled = relabel.applied != graph::RelabelMode::kNone;
+  if (relabeled) g = relabel.map.Apply(g);
+  graph::VertexRelabeling& id_map = relabel.map;
+  const graph::VertexRelabeling* inverse = relabeled ? &id_map : nullptr;
+  const std::string relabel_desc =
+      std::string(graph::ToString(relabel.applied)) +
+      (*relabel_mode == graph::RelabelMode::kAuto ? " (auto)" : "");
+
   core::TcimConfig config;
   config.slice_bits = opt.slice_bits;
   config.array.capacity_bytes =
@@ -327,8 +430,13 @@ int main(int argc, char** argv) {
                                     "Triangles", "Path", "AND ops",
                                     "Latency"});
     for (std::size_t b = 0; b < batches.size(); ++b) {
-      const runtime::StreamSession::AppliedBatch applied =
-          session.Apply(batches[b]);
+      // Replay files speak original ids; the relabeled session speaks
+      // internal ids. MapToInternal grows id_map for vertices the
+      // loaded graph never saw (same growth semantics as the
+      // un-relabeled path).
+      const runtime::StreamSession::AppliedBatch applied = session.Apply(
+          relabeled ? stream::MapToInternal(batches[b], id_map)
+                    : batches[b]);
       const stream::BatchResult& r = applied.batch;
       if (!opt.json) {
         batch_table.AddRow(
@@ -346,12 +454,19 @@ int main(int argc, char** argv) {
 
     const runtime::StreamStats stats = session.stats();
     const std::uint64_t final_triangles = session.triangles();
+    const graph::Graph final_snapshot = session.Snapshot();
     const bool verified =
-        !opt.verify || baseline::CountTrianglesReference(session.Snapshot()) ==
+        !opt.verify || baseline::CountTrianglesReference(final_snapshot) ==
                            final_triangles;
+    const std::vector<TopEntry> top =
+        opt.top > 0 ? TopDegrees(final_snapshot, inverse, opt.top)
+                    : std::vector<TopEntry>{};
     if (opt.json) {
       std::cout << "{\"source\":\"" << source << "\",\"stream\":\""
-                << opt.stream << "\",\"batches\":" << stats.batches
+                << opt.stream << "\",\"relabel\":\"" << relabel_desc
+                << "\",\"relabel_nvs_ratio\":" << relabel.ValidSliceRatio();
+      if (!top.empty()) EmitTopJson(std::cout, top);
+      std::cout << ",\"batches\":" << stats.batches
                 << ",\"initial_triangles\":" << initial
                 << ",\"final_triangles\":" << final_triangles
                 << ",\"net_delta\":" << stats.net_delta
@@ -372,6 +487,13 @@ int main(int argc, char** argv) {
                 << "  verified vs CPU recount: "
                 << (opt.verify ? (verified ? "yes" : "MISMATCH") : "skipped")
                 << "\n";
+      if (!top.empty()) {
+        std::cout << "\n  top vertices by degree (original ids):\n";
+        for (std::size_t i = 0; i < top.size(); ++i) {
+          std::cout << "    top[" << i << "] v" << top[i].vertex << " deg "
+                    << top[i].degree << "\n";
+        }
+      }
     }
     return Finish(opt, verified ? 0 : 1);
   }
@@ -404,6 +526,9 @@ int main(int argc, char** argv) {
                         !opt.verify ||
                             baseline::CountTrianglesReference(g) ==
                                 r.triangles};
+    common.relabel = relabel_desc;
+    common.relabel_nvs_ratio = relabel.ValidSliceRatio();
+    if (opt.top > 0) common.top = TopDegrees(g, inverse, opt.top);
     if (!opt.json) {
       runtime::PrintPartitionTable(std::cout, r.partition);
       std::cout << "\n";
@@ -465,6 +590,9 @@ int main(int argc, char** argv) {
                       opt.verify,
                       !opt.verify || baseline::CountTrianglesReference(g) ==
                                          r.triangles};
+  common.relabel = relabel_desc;
+  common.relabel_nvs_ratio = relabel.ValidSliceRatio();
+  if (opt.top > 0) common.top = TopDegrees(g, inverse, opt.top);
   return Finish(opt, EmitReport(
       opt.json, common,
       [&](std::ostream& os) {

@@ -371,6 +371,78 @@ std::atomic<std::uint8_t>& ActiveSlot() noexcept {
   return slot;
 }
 
+// Zero-copy driver: one function-pointer resolution for the whole
+// list, then a tight loop that prefetches the next pair's words while
+// the current pair is summed. The descriptors themselves stream
+// linearly, so only the slice words need explicit prefetch.
+// Single-word pairs (|S|=64, the narrowest slice geometry) are summed
+// inline: no vector unit can engage on 8 bytes, and skipping the
+// indirect call there is what keeps every backend at parity with
+// scalar on width-1 streams (perf_harness floor 1).
+std::uint64_t RunPairsZeroCopy(AndFn fn,
+                               std::span<const PairRef> pairs) noexcept {
+  std::uint64_t total = 0;
+  const std::size_t n = pairs.size();
+#if defined(__GNUC__) || defined(__clang__)
+  // Summing one pair is a few dozen cycles — far less than a DRAM miss —
+  // so a lookahead of one pair only hides latency while the list is
+  // cache-resident. Prime a deeper window and keep it full: 8 pairs of
+  // lookahead is enough slack for an LLC-spilling |S|=512 working set
+  // (the roadNet rows at full scale) without hurting the L1/L2 case.
+  constexpr std::size_t kPrefetchPairs = 8;
+  // Slice spans are 8-byte aligned, so an 8-word (|S|=512) span usually
+  // straddles two cache lines — prefetch the tail line as well or half
+  // the flush loop's loads still miss.
+  const auto prefetch = [](const PairRef& p) {
+    __builtin_prefetch(p.a);
+    __builtin_prefetch(p.b);
+    if (p.words > 1) {
+      __builtin_prefetch(p.a + p.words - 1);
+      __builtin_prefetch(p.b + p.words - 1);
+    }
+  };
+  for (std::size_t i = 0, prime = std::min(n, kPrefetchPairs); i < prime;
+       ++i) {
+    prefetch(pairs[i]);
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) {
+#if defined(__GNUC__) || defined(__clang__)
+    if (i + kPrefetchPairs < n) prefetch(pairs[i + kPrefetchPairs]);
+#endif
+    const PairRef& p = pairs[i];
+    if (p.words == 1) {
+      total += static_cast<std::uint64_t>(std::popcount(p.a[0] & p.b[0]));
+    } else {
+      total += fn(p.a, p.b, p.words);
+    }
+  }
+  return total;
+}
+
+// Forced-policy slot for TCIM_PAIR_POLICY / SetActivePairPolicy.
+// 0 = auto (adaptive rule decides); 1 + enum = forced.
+constexpr std::uint8_t kPolicyAuto = 0;
+
+std::uint8_t ResolvePolicyFromEnv() {
+  const std::string raw = util::EnvString("TCIM_PAIR_POLICY", "");
+  if (raw.empty() || raw == "auto") return kPolicyAuto;
+  const std::optional<PairPolicy> parsed = ParsePairPolicy(raw);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr,
+                 "tcim: TCIM_PAIR_POLICY='%s' is not a known policy "
+                 "(batched|zerocopy|perpair|auto); using auto\n",
+                 raw.c_str());
+    return kPolicyAuto;
+  }
+  return static_cast<std::uint8_t>(1 + static_cast<std::uint8_t>(*parsed));
+}
+
+std::atomic<std::uint8_t>& PolicySlot() noexcept {
+  static std::atomic<std::uint8_t> slot{ResolvePolicyFromEnv()};
+  return slot;
+}
+
 }  // namespace
 
 const char* ToString(KernelBackend backend) noexcept {
@@ -531,6 +603,86 @@ std::uint64_t AndPopcountPairsBackend(const PairArena& arena,
   }
   return Table().fn[static_cast<std::size_t>(backend)](
       arena.a().data(), arena.b().data(), arena.word_count());
+}
+
+std::uint64_t AndPopcountPairsZeroCopy(
+    std::span<const PairRef> pairs) noexcept {
+  const auto i =
+      static_cast<std::size_t>(ActiveSlot().load(std::memory_order_relaxed));
+  return RunPairsZeroCopy(Table().fn[i], pairs);
+}
+
+std::uint64_t AndPopcountPairsZeroCopyBackend(std::span<const PairRef> pairs,
+                                              KernelBackend backend) {
+  if (!BackendSupported(backend)) {
+    throw std::invalid_argument(
+        std::string("AndPopcountPairsZeroCopyBackend: backend '") +
+        ToString(backend) + "' is not supported on this machine");
+  }
+  return RunPairsZeroCopy(Table().fn[static_cast<std::size_t>(backend)],
+                          pairs);
+}
+
+const char* ToString(PairPolicy policy) noexcept {
+  switch (policy) {
+    case PairPolicy::kBatched:
+      return "batched";
+    case PairPolicy::kZeroCopy:
+      return "zerocopy";
+    case PairPolicy::kPerPair:
+      return "perpair";
+  }
+  return "unknown";
+}
+
+std::optional<PairPolicy> ParsePairPolicy(std::string_view name) noexcept {
+  if (name == "batched") return PairPolicy::kBatched;
+  if (name == "zerocopy" || name == "zero_copy" || name == "zero-copy") {
+    return PairPolicy::kZeroCopy;
+  }
+  if (name == "perpair" || name == "per_pair" || name == "per-pair") {
+    return PairPolicy::kPerPair;
+  }
+  return std::nullopt;
+}
+
+PairPolicy ChoosePairPolicy(std::size_t width_words, std::size_t pair_count,
+                            const PairPolicyConfig& cfg) noexcept {
+  if (cfg.forced.has_value()) return *cfg.forced;
+  if (width_words >= cfg.zero_copy_min_width) return PairPolicy::kZeroCopy;
+  if (pair_count < cfg.batched_min_pairs) return PairPolicy::kZeroCopy;
+  return PairPolicy::kBatched;
+}
+
+bool ChooseDirectPairLoop(std::size_t width_words, std::uint64_t store_bytes,
+                          double avg_valid_slices,
+                          const PairPolicyConfig& cfg) noexcept {
+  if (cfg.forced.has_value()) return false;
+  return width_words >= cfg.direct_min_width &&
+         store_bytes > cfg.direct_min_store_bytes &&
+         avg_valid_slices <= cfg.direct_max_avg_valid_slices;
+}
+
+PairPolicyConfig ActivePairPolicy() noexcept {
+  PairPolicyConfig cfg;
+  const std::uint8_t slot = PolicySlot().load(std::memory_order_relaxed);
+  if (slot != kPolicyAuto) {
+    cfg.forced = static_cast<PairPolicy>(slot - 1);
+  }
+  return cfg;
+}
+
+void SetActivePairPolicy(std::optional<PairPolicy> forced) noexcept {
+  PolicySlot().store(
+      forced.has_value()
+          ? static_cast<std::uint8_t>(1 + static_cast<std::uint8_t>(*forced))
+          : kPolicyAuto,
+      std::memory_order_relaxed);
+}
+
+PairPolicyConfig RefreshPairPolicyFromEnv() {
+  PolicySlot().store(ResolvePolicyFromEnv(), std::memory_order_relaxed);
+  return ActivePairPolicy();
 }
 
 }  // namespace tcim::bit

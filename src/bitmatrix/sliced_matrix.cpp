@@ -63,21 +63,107 @@ MatrixPatchStats SlicedMatrix::ApplyArcEdits(std::span<const ArcEdit> edits,
 
 namespace {
 
-// Flush granularity of the batched Eq. (5) gather: 2 Ki words = 16 KiB
-// per side keeps BOTH gathered blocks L1-resident (the regime where
-// the span kernel's SIMD advantage peaks) while still amortizing one
-// backend dispatch over hundreds-to-thousands of slice pairs.
+// Flush granularity of the Eq. (5) gather: 2 Ki words = 16 KiB per
+// side keeps a batched block L1-resident (the regime where the span
+// kernel's SIMD advantage peaks) while still amortizing one backend
+// dispatch over hundreds-to-thousands of slice pairs. The zero-copy
+// path flushes at the same boundary so the adaptive decision sees
+// comparable batch sizes on every route.
 constexpr std::size_t kGatherFlushWords = std::size_t{1} << 11;
+
+// Adaptive Eq. (5) pair stream: valid slice pairs are always gathered
+// as in-place (a, b, width) descriptors first — a descriptor is 20
+// bytes regardless of slice width, so enumeration itself copies no
+// slice words — and each flush batch picks its kernel path from the
+// measured policy crossovers (zero-copy descriptors at every default
+// cell; batched arena and per-pair dispatch reachable via forced
+// policy or a raised zero_copy_min_width).
+class PairStreamExecutor {
+ public:
+  PairStreamExecutor(std::size_t width, PairPathCounters* counters)
+      : width_(width), cfg_(ActivePairPolicy()), counters_(counters) {
+    const std::size_t max_pairs = kGatherFlushWords / (width == 0 ? 1 : width);
+    refs_.reserve(max_pairs + 1);
+  }
+
+  void Push(const std::uint64_t* a, const std::uint64_t* b) {
+#if defined(__GNUC__) || defined(__clang__)
+    // Start the pair's lines toward L2 now: enumeration runs hundreds
+    // of cycles ahead of the flush that consumes them, which is the
+    // prefetch distance a DRAM-resident |S|=512 store needs (the flush
+    // loop's own lookahead only hides L2/L3 latency). Locality hint 2
+    // (L2, not L1) — a full flush window of wide pairs overflows L1.
+    __builtin_prefetch(a, 0, 2);
+    __builtin_prefetch(b, 0, 2);
+    if (width_ > 1) {
+      __builtin_prefetch(a + width_ - 1, 0, 2);
+      __builtin_prefetch(b + width_ - 1, 0, 2);
+    }
+#endif
+    refs_.push_back(PairRef{a, b, static_cast<std::uint32_t>(width_)});
+    words_ += width_;
+  }
+
+  [[nodiscard]] bool ShouldFlush() const noexcept {
+    return words_ >= kGatherFlushWords;
+  }
+
+  void Flush(std::uint64_t& total) {
+    if (refs_.empty()) return;
+    switch (ChoosePairPolicy(width_, refs_.size(), cfg_)) {
+      case PairPolicy::kBatched:
+        arena_.Reserve(words_);
+        for (const PairRef& ref : refs_) {
+          arena_.Push(ref.a, ref.b, ref.words);
+        }
+        total += AndPopcountPairs(arena_);
+        arena_.Clear();
+        if (counters_ != nullptr) {
+          counters_->batched_pairs += refs_.size();
+          ++counters_->batched_flushes;
+        }
+        break;
+      case PairPolicy::kZeroCopy:
+        total += AndPopcountPairsZeroCopy(refs_);
+        if (counters_ != nullptr) {
+          counters_->zero_copy_pairs += refs_.size();
+          ++counters_->zero_copy_flushes;
+        }
+        break;
+      case PairPolicy::kPerPair:
+        // The legacy counterfactual: every pair pays the full dispatch
+        // (atomic backend load + call) — what the adaptive policy is
+        // measured against, reachable only by forcing.
+        for (const PairRef& ref : refs_) {
+          total += AndPopcountActive(ref.a, ref.b, ref.words);
+        }
+        if (counters_ != nullptr) counters_->per_pair_pairs += refs_.size();
+        break;
+    }
+    refs_.clear();
+    words_ = 0;
+  }
+
+ private:
+  std::size_t width_;
+  PairPolicyConfig cfg_;
+  PairPathCounters* counters_;
+  std::vector<PairRef> refs_;
+  PairArena arena_;
+  std::size_t words_ = 0;
+};
 
 }  // namespace
 
-std::uint64_t SlicedMatrix::AndPopcountAllEdges(PopcountKind kind) const {
-  return AndPopcountRows(0, num_vertices(), kind);
+std::uint64_t SlicedMatrix::AndPopcountAllEdges(
+    PopcountKind kind, PairPathCounters* counters) const {
+  return AndPopcountRows(0, num_vertices(), kind, counters);
 }
 
 std::uint64_t SlicedMatrix::AndPopcountRows(std::uint32_t row_begin,
                                             std::uint32_t row_end,
-                                            PopcountKind kind) const {
+                                            PopcountKind kind,
+                                            PairPathCounters* counters) const {
   if (row_begin > row_end || row_end > num_vertices()) {
     throw std::out_of_range("SlicedMatrix::AndPopcountRows: invalid range");
   }
@@ -98,15 +184,45 @@ std::uint64_t SlicedMatrix::AndPopcountRows(std::uint32_t row_begin,
     return total;
   }
 
-  // Batched host path: one gather pass per pivot row — the row's
+  const std::size_t width = rows_.words_per_slice();
+
+  // Pass-level adaptive escape hatch: a wide-slice store that spills
+  // the cache AND has no slice reuse (sparse near-uniform graphs) is a
+  // pure cold stream — dispatching each pair immediately during
+  // enumeration lets the OoO window overlap the DRAM misses with
+  // enumeration work, which a deferred descriptor flush cannot match
+  // even with prefetch. Hub-skewed stores keep the gathered zero-copy
+  // path (their reused slices are cache-hot). See ChooseDirectPairLoop.
+  if (rows_.num_vectors() > 0 &&
+      ChooseDirectPairLoop(
+          width, rows_.HeapBytes() + cols_.HeapBytes(),
+          static_cast<double>(rows_.valid_slice_count()) /
+              static_cast<double>(rows_.num_vectors()),
+          ActivePairPolicy())) {
+    std::size_t pairs = 0;
+    for (std::uint32_t i = row_begin; i < row_end; ++i) {
+      rows_.ForEachSetBit(i, [&](std::uint64_t j64) {
+        const auto j = static_cast<std::uint32_t>(j64);
+        ForEachValidPair(i, j, [&](std::uint32_t /*slice*/, std::size_t ra,
+                                   std::size_t cb) {
+          const std::span<const std::uint64_t> a = rows_.SliceWords(i, ra);
+          const std::span<const std::uint64_t> b = cols_.SliceWords(j, cb);
+          total += AndPopcountActive(a.data(), b.data(), a.size());
+          ++pairs;
+        });
+      });
+    }
+    if (counters != nullptr) counters->per_pair_pairs += pairs;
+    return total;
+  }
+
+  // Adaptive host path: one gather pass per pivot row — the row's
   // valid slices are indexed ONCE into a sparse lookup table (the
   // §IV-A row-reuse idea on the host), so each edge pays O(|Cj|)
   // lookups instead of re-merging the row's whole valid-slice list;
-  // every matched pair lands in the arena, and the backend consumes
-  // whole blocks with a single dispatch each instead of one per pair.
-  PairArena arena;
-  arena.Reserve(kGatherFlushWords + rows_.words_per_slice());
-  const std::size_t width = rows_.words_per_slice();
+  // every matched pair lands as a zero-copy descriptor, and each flush
+  // batch routes through the policy-chosen kernel path.
+  PairStreamExecutor exec(width, counters);
   // row_ordinal_of_slice[k] = ordinal of slice k within the current
   // pivot row, or -1. Only the row's own entries are ever written and
   // reset, so the table costs O(|Ri|) per row after one O(slots) init.
@@ -125,29 +241,28 @@ std::uint64_t SlicedMatrix::AndPopcountRows(std::uint32_t row_begin,
       for (std::size_t b = 0; b < col.indices.size(); ++b) {
         const std::int32_t a = row_ordinal_of_slice[col.indices[b]];
         if (a >= 0) {
-          arena.Push(row.words + static_cast<std::size_t>(a) * width,
-                     col.words + b * width, width);
+          exec.Push(row.words + static_cast<std::size_t>(a) * width,
+                    col.words + b * width);
         }
       }
       // Flush per edge, not per row: a single hub row can gather far
       // past the L1 budget otherwise (pair boundaries don't affect
       // the sum, so flushing mid-row is safe).
-      if (arena.word_count() >= kGatherFlushWords) {
-        total += AndPopcountPairs(arena);
-        arena.Clear();
-      }
+      if (exec.ShouldFlush()) exec.Flush(total);
     });
     for (const std::uint32_t slice : row.indices) {
       row_ordinal_of_slice[slice] = -1;
     }
   }
-  return total + AndPopcountPairs(arena);
+  exec.Flush(total);
+  return total;
 }
 
 std::uint64_t SlicedMatrix::AndPopcountRect(
     std::uint32_t row_begin, std::uint32_t row_end, std::uint32_t col_begin,
     std::uint32_t col_end, const std::uint8_t* col_mask, bool mask_value,
-    const SlicedStore* cols_override, PopcountKind kind) const {
+    const SlicedStore* cols_override, PopcountKind kind,
+    PairPathCounters* counters) const {
   if (row_begin > row_end || row_end > num_vertices() ||
       col_begin > col_end || col_end > num_vertices()) {
     throw std::out_of_range("SlicedMatrix::AndPopcountRect: invalid range");
@@ -191,12 +306,11 @@ std::uint64_t SlicedMatrix::AndPopcountRect(
     return total;
   }
 
-  // Batched host path — same shape as AndPopcountRows, with the arc
+  // Adaptive host path — same shape as AndPopcountRows, with the arc
   // enumeration restricted to the rectangle/mask and the column
   // lookups routed through `cols`.
-  PairArena arena;
-  arena.Reserve(kGatherFlushWords + rows_.words_per_slice());
   const std::size_t width = rows_.words_per_slice();
+  PairStreamExecutor exec(width, counters);
   std::vector<std::int32_t> row_ordinal_of_slice(
       static_cast<std::size_t>(rows_.slices_per_vector()), -1);
   for (std::uint32_t i = row_begin; i < row_end; ++i) {
@@ -212,20 +326,18 @@ std::uint64_t SlicedMatrix::AndPopcountRect(
       for (std::size_t b = 0; b < col.indices.size(); ++b) {
         const std::int32_t a = row_ordinal_of_slice[col.indices[b]];
         if (a >= 0) {
-          arena.Push(row.words + static_cast<std::size_t>(a) * width,
-                     col.words + b * width, width);
+          exec.Push(row.words + static_cast<std::size_t>(a) * width,
+                    col.words + b * width);
         }
       }
-      if (arena.word_count() >= kGatherFlushWords) {
-        total += AndPopcountPairs(arena);
-        arena.Clear();
-      }
+      if (exec.ShouldFlush()) exec.Flush(total);
     });
     for (const std::uint32_t slice : row.indices) {
       row_ordinal_of_slice[slice] = -1;
     }
   }
-  return total + AndPopcountPairs(arena);
+  exec.Flush(total);
+  return total;
 }
 
 SliceStats SlicedMatrix::ComputeStats() const {

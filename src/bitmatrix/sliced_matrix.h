@@ -76,6 +76,32 @@ struct SliceStats {
   }
 };
 
+/// Per-path pair accounting of one adaptive Eq. (5) pass: how many
+/// valid slice pairs each kernel path consumed and how many flush
+/// batches it ran. The adaptive policy (kernel_backend.h, "Adaptive
+/// pair policy") is otherwise invisible from outside — these counters
+/// are how tests pin the routing and how ExecStats reports it.
+struct PairPathCounters {
+  std::uint64_t batched_pairs = 0;
+  std::uint64_t zero_copy_pairs = 0;
+  std::uint64_t per_pair_pairs = 0;
+  std::uint64_t batched_flushes = 0;
+  std::uint64_t zero_copy_flushes = 0;
+
+  PairPathCounters& operator+=(const PairPathCounters& o) noexcept {
+    batched_pairs += o.batched_pairs;
+    zero_copy_pairs += o.zero_copy_pairs;
+    per_pair_pairs += o.per_pair_pairs;
+    batched_flushes += o.batched_flushes;
+    zero_copy_flushes += o.zero_copy_flushes;
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t TotalPairs() const noexcept {
+    return batched_pairs + zero_copy_pairs + per_pair_pairs;
+  }
+};
+
 /// One arc mutation of the oriented adjacency matrix: set (insert) or
 /// clear (remove) A[from][to]. Mirrored automatically into both the
 /// row store (bit `to` of row `from`) and the column store (bit `from`
@@ -155,22 +181,27 @@ class SlicedMatrix {
   /// pairs. With an upper-triangular (oriented) adjacency this *is*
   /// the triangle count; the caller owns that interpretation. At the
   /// default kind (kBuiltin) the valid slice pairs are gathered per
-  /// pivot row and evaluated in large blocks by the batched pair
-  /// kernel — one backend dispatch per block, not per slice pair
-  /// (kernel_backend.h, "Batched pair kernel"); the hardware-model
-  /// kinds run the exact per-word per-pair loop instead.
+  /// pivot row and evaluated in flush batches whose kernel path —
+  /// batched arena, zero-copy descriptors, or per-pair dispatch — is
+  /// chosen per batch by the adaptive pair policy (kernel_backend.h,
+  /// "Adaptive pair policy"; forceable via TCIM_PAIR_POLICY); the
+  /// hardware-model kinds run the exact per-word per-pair loop
+  /// instead. When `counters` is non-null the per-path pair/flush
+  /// accounting of this pass is accumulated into it.
   [[nodiscard]] std::uint64_t AndPopcountAllEdges(
-      PopcountKind kind = PopcountKind::kBuiltin) const;
+      PopcountKind kind = PopcountKind::kBuiltin,
+      PairPathCounters* counters = nullptr) const;
 
   /// Eq. (5) over rows [row_begin, row_end) only — the shard unit of
   /// the multi-bank runtime's host-kernel path (runtime::BankPool::
   /// HostCount). Column lookups see the whole matrix, so disjoint row
   /// ranges partition AndPopcountAllEdges() exactly: summing shards
   /// reproduces the full pass. Throws std::out_of_range on an invalid
-  /// range. Same batching rules as AndPopcountAllEdges.
+  /// range. Same batching/policy rules as AndPopcountAllEdges.
   [[nodiscard]] std::uint64_t AndPopcountRows(
       std::uint32_t row_begin, std::uint32_t row_end,
-      PopcountKind kind = PopcountKind::kBuiltin) const;
+      PopcountKind kind = PopcountKind::kBuiltin,
+      PairPathCounters* counters = nullptr) const;
 
   /// Eq. (5) over the sub-rectangle rows [row_begin, row_end) x
   /// columns [col_begin, col_end) — the tile unit of the 2D
@@ -195,7 +226,8 @@ class SlicedMatrix {
       std::uint32_t row_begin, std::uint32_t row_end, std::uint32_t col_begin,
       std::uint32_t col_end, const std::uint8_t* col_mask = nullptr,
       bool mask_value = true, const SlicedStore* cols_override = nullptr,
-      PopcountKind kind = PopcountKind::kBuiltin) const;
+      PopcountKind kind = PopcountKind::kBuiltin,
+      PairPathCounters* counters = nullptr) const;
 
   /// Full statistics pass (Tables III/IV); costs one edge iteration.
   [[nodiscard]] SliceStats ComputeStats() const;

@@ -362,6 +362,16 @@ std::size_t GatherValidPairs(const SlicedStore& a, std::uint32_t va,
                              const SlicedStore& b, std::uint32_t vb,
                              PairArena& arena);
 
+/// Zero-copy variant of GatherValidPairs: appends in-place (a, b,
+/// width) descriptors to `refs` instead of copying slice words — the
+/// gather half of the adaptive Eq. (5) kernel. Callers decide the
+/// execution path afterwards (ChoosePairPolicy on the gathered count),
+/// so enumeration never pays the arena memcpy up front. Returns the
+/// number of descriptors appended. The stores must share slice_bits.
+std::size_t GatherValidPairRefs(const SlicedStore& a, std::uint32_t va,
+                                const SlicedStore& b, std::uint32_t vb,
+                                std::vector<PairRef>& refs);
+
 /// AND-popcount of two stored vectors from any store combination
 /// (row x row, row x col, ...): merges the two sorted valid-slice
 /// index lists and sums BitCount(AND) over the matching slices — the
@@ -369,9 +379,9 @@ std::size_t GatherValidPairs(const SlicedStore& a, std::uint32_t va,
 /// SlicedMatrix. The stores must share slice_bits. If `pairs` is
 /// non-null it is incremented by the number of slice ANDs issued (the
 /// streaming layer's AND-op accounting). Like AndPopcountAllEdges,
-/// the default kind gathers the matched slices and evaluates them with
-/// ONE dispatched call on the active SIMD kernel backend
-/// (AndPopcountPairs); the hardware-model kinds keep the exact
+/// the default kind gathers the matched slices as zero-copy
+/// descriptors and routes them through the adaptive pair policy with
+/// one dispatch resolution; the hardware-model kinds keep the exact
 /// per-word per-pair loop.
 [[nodiscard]] std::uint64_t AndPopcountVectors(
     const SlicedStore& a, std::uint32_t va, const SlicedStore& b,

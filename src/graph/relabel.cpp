@@ -1,0 +1,217 @@
+#include "graph/relabel.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+namespace tcim::graph {
+
+VertexRelabeling VertexRelabeling::Identity(VertexId n) {
+  VertexRelabeling map;
+  map.new_of_old_.resize(n);
+  map.old_of_new_.resize(n);
+  std::iota(map.new_of_old_.begin(), map.new_of_old_.end(), VertexId{0});
+  std::iota(map.old_of_new_.begin(), map.old_of_new_.end(), VertexId{0});
+  return map;
+}
+
+VertexRelabeling VertexRelabeling::DegreeAscending(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  VertexRelabeling map;
+  map.old_of_new_.resize(n);
+  std::iota(map.old_of_new_.begin(), map.old_of_new_.end(), VertexId{0});
+  std::sort(map.old_of_new_.begin(), map.old_of_new_.end(),
+            [&](VertexId a, VertexId b) {
+              const std::uint64_t da = g.Degree(a);
+              const std::uint64_t db = g.Degree(b);
+              if (da != db) return da < db;
+              return a < b;
+            });
+  map.new_of_old_.resize(n);
+  for (VertexId internal = 0; internal < n; ++internal) {
+    map.new_of_old_[map.old_of_new_[internal]] = internal;
+  }
+  return map;
+}
+
+VertexRelabeling VertexRelabeling::BfsFromHubs(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> seeds(n);
+  std::iota(seeds.begin(), seeds.end(), VertexId{0});
+  std::sort(seeds.begin(), seeds.end(), [&](VertexId a, VertexId b) {
+    const std::uint64_t da = g.Degree(a);
+    const std::uint64_t db = g.Degree(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  VertexRelabeling map;
+  map.new_of_old_.assign(n, kUnassigned);
+  map.old_of_new_.reserve(n);
+  std::deque<VertexId> queue;
+  const auto visit = [&](VertexId v) {
+    if (map.new_of_old_[v] != kUnassigned) return;
+    map.new_of_old_[v] = static_cast<VertexId>(map.old_of_new_.size());
+    map.old_of_new_.push_back(v);
+    queue.push_back(v);
+  };
+  for (const VertexId seed : seeds) {
+    visit(seed);
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      for (const VertexId v : g.Neighbors(u)) visit(v);
+    }
+  }
+  return map;
+}
+
+VertexId VertexRelabeling::ToInternal(VertexId original) {
+  if (original >= new_of_old_.size()) {
+    new_of_old_.resize(static_cast<std::size_t>(original) + 1, kUnassigned);
+  }
+  VertexId& slot = new_of_old_[original];
+  if (slot == kUnassigned) {
+    slot = static_cast<VertexId>(old_of_new_.size());
+    old_of_new_.push_back(original);
+  }
+  return slot;
+}
+
+std::optional<VertexId> VertexRelabeling::FindInternal(
+    VertexId original) const noexcept {
+  if (original >= new_of_old_.size() ||
+      new_of_old_[original] == kUnassigned) {
+    return std::nullopt;
+  }
+  return new_of_old_[original];
+}
+
+VertexId VertexRelabeling::ToOriginal(VertexId internal) const {
+  if (internal >= old_of_new_.size()) {
+    throw std::out_of_range("VertexRelabeling::ToOriginal: id unassigned");
+  }
+  return old_of_new_[internal];
+}
+
+bool VertexRelabeling::IsIdentity() const noexcept {
+  for (VertexId internal = 0; internal < old_of_new_.size(); ++internal) {
+    if (old_of_new_[internal] != internal) return false;
+  }
+  return true;
+}
+
+Graph VertexRelabeling::Apply(const Graph& g) const {
+  GraphBuilder builder(size());
+  builder.ReserveEdges(g.num_edges());
+  g.ForEachEdge([&](VertexId u, VertexId v) {
+    const std::optional<VertexId> iu = FindInternal(u);
+    const std::optional<VertexId> iv = FindInternal(v);
+    if (!iu.has_value() || !iv.has_value()) {
+      throw std::invalid_argument(
+          "VertexRelabeling::Apply: graph has unmapped vertices");
+    }
+    builder.AddEdge(*iu, *iv);
+  });
+  return std::move(builder).Build();
+}
+
+Graph RelabelByDegree(const Graph& g, VertexRelabeling* map) {
+  VertexRelabeling local = VertexRelabeling::DegreeAscending(g);
+  Graph relabeled = local.Apply(g);
+  if (map != nullptr) *map = std::move(local);
+  return relabeled;
+}
+
+std::string_view ToString(RelabelMode m) noexcept {
+  switch (m) {
+    case RelabelMode::kNone:
+      return "none";
+    case RelabelMode::kDegree:
+      return "degree";
+    case RelabelMode::kBfs:
+      return "bfs";
+    case RelabelMode::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+std::optional<RelabelMode> ParseRelabelMode(std::string_view s) noexcept {
+  if (s == "none") return RelabelMode::kNone;
+  if (s == "degree") return RelabelMode::kDegree;
+  if (s == "bfs") return RelabelMode::kBfs;
+  if (s == "auto") return RelabelMode::kAuto;
+  return std::nullopt;
+}
+
+std::uint64_t CountValidSlices(const Graph& g, const VertexRelabeling& map,
+                               std::uint32_t slice_bits) {
+  if (slice_bits == 0) {
+    throw std::invalid_argument("CountValidSlices: slice_bits must be > 0");
+  }
+  // Under kUpper in internal ids, edge {iu < iv} sets row iu bit iv
+  // and column iv bit iu. A (vector, block) pair is one valid slice;
+  // counting distinct pairs per store counts NVS without building it.
+  std::vector<std::uint64_t> row_keys;
+  std::vector<std::uint64_t> col_keys;
+  row_keys.reserve(g.num_edges());
+  col_keys.reserve(g.num_edges());
+  g.ForEachEdge([&](VertexId u, VertexId v) {
+    const std::optional<VertexId> ou = map.FindInternal(u);
+    const std::optional<VertexId> ov = map.FindInternal(v);
+    if (!ou.has_value() || !ov.has_value()) {
+      throw std::invalid_argument("CountValidSlices: unmapped vertex");
+    }
+    VertexId iu = *ou;
+    VertexId iv = *ov;
+    if (iu > iv) std::swap(iu, iv);
+    row_keys.push_back((static_cast<std::uint64_t>(iu) << 32) |
+                       (iv / slice_bits));
+    col_keys.push_back((static_cast<std::uint64_t>(iv) << 32) |
+                       (iu / slice_bits));
+  });
+  const auto distinct = [](std::vector<std::uint64_t>& keys) {
+    std::sort(keys.begin(), keys.end());
+    return static_cast<std::uint64_t>(
+        std::unique(keys.begin(), keys.end()) - keys.begin());
+  };
+  return distinct(row_keys) + distinct(col_keys);
+}
+
+RelabelChoice ChooseRelabeling(const Graph& g, RelabelMode requested,
+                               std::uint32_t slice_bits) {
+  RelabelChoice choice;
+  choice.map = VertexRelabeling::Identity(g.num_vertices());
+  choice.identity_valid_slices = CountValidSlices(g, choice.map, slice_bits);
+  choice.chosen_valid_slices = choice.identity_valid_slices;
+  const auto consider = [&](RelabelMode mode, VertexRelabeling candidate,
+                            bool unconditional) {
+    const std::uint64_t nvs = CountValidSlices(g, candidate, slice_bits);
+    if (unconditional || nvs < choice.chosen_valid_slices) {
+      choice.applied = mode;
+      choice.map = std::move(candidate);
+      choice.chosen_valid_slices = nvs;
+    }
+  };
+  switch (requested) {
+    case RelabelMode::kNone:
+      break;
+    case RelabelMode::kDegree:
+      consider(RelabelMode::kDegree, VertexRelabeling::DegreeAscending(g),
+               true);
+      break;
+    case RelabelMode::kBfs:
+      consider(RelabelMode::kBfs, VertexRelabeling::BfsFromHubs(g), true);
+      break;
+    case RelabelMode::kAuto:
+      consider(RelabelMode::kDegree, VertexRelabeling::DegreeAscending(g),
+               false);
+      consider(RelabelMode::kBfs, VertexRelabeling::BfsFromHubs(g), false);
+      break;
+  }
+  return choice;
+}
+
+}  // namespace tcim::graph

@@ -122,6 +122,19 @@ void Record2dMetrics(const PartitionStats& stats) {
   metrics.tile_imbalance.Set(stats.tile_imbalance);
 }
 
+/// Sums the per-shard adaptive-policy routing counters (each shard
+/// writes its own slot — RunShards runs them concurrently) into the
+/// registry once per host-count fan-out.
+void RecordPairPathMetrics(std::span<const bit::PairPathCounters> per_bank) {
+  bit::PairPathCounters total;
+  for (const bit::PairPathCounters& c : per_bank) total += c;
+  if (total.TotalPairs() == 0) return;
+  BankPoolMetrics& metrics = BankPoolMetrics::Get();
+  metrics.pairs_batched.Add(total.batched_pairs);
+  metrics.pairs_zero_copy.Add(total.zero_copy_pairs);
+  metrics.pairs_per_pair.Add(total.per_pair_pairs);
+}
+
 std::uint32_t ThreadCount(const BankPoolConfig& config) {
   if (config.num_banks == 0 || config.num_banks > kMaxBanks) {
     throw std::invalid_argument("BankPool: num_banks must be in [1, " +
@@ -296,14 +309,18 @@ std::uint64_t BankPool::HostCount(const graph::Graph& g) const {
     return HostCount2d(run.matrix, plan, config_.accelerator.orientation);
   }
 
-  // Each shard runs the batched host kernel over its owned row range;
+  // Each shard runs the adaptive host kernel over its owned row range;
   // disjoint ranges partition the raw Eq. (5) sum exactly, and the
   // orientation divide happens once on the cluster total (a single
   // kFullSymmetric shard's bitcount need not be divisible by 6).
   std::vector<std::uint64_t> per_bank(num_banks(), 0);
+  std::vector<bit::PairPathCounters> paths(num_banks());
   RunShards(run.partition, [&](std::uint32_t b, const ShardInfo& shard) {
-    per_bank[b] = run.matrix.AndPopcountRows(shard.row_begin, shard.row_end);
+    per_bank[b] = run.matrix.AndPopcountRows(
+        shard.row_begin, shard.row_end, bit::PopcountKind::kBuiltin,
+        &paths[b]);
   });
+  RecordPairPathMetrics(paths);
   std::uint64_t raw = 0;
   for (const std::uint64_t shard_count : per_bank) raw += shard_count;
   return raw / graph::CountMultiplier(config_.accelerator.orientation);
@@ -318,9 +335,13 @@ std::uint64_t BankPool::HostCountMatrix(const bit::SlicedMatrix& matrix,
   const GraphPartition partition =
       PartitionMatrixRows(matrix, num_banks(), config_.partition);
   std::vector<std::uint64_t> per_bank(num_banks(), 0);
+  std::vector<bit::PairPathCounters> paths(num_banks());
   RunShards(partition, [&](std::uint32_t b, const ShardInfo& shard) {
-    per_bank[b] = matrix.AndPopcountRows(shard.row_begin, shard.row_end);
+    per_bank[b] = matrix.AndPopcountRows(shard.row_begin, shard.row_end,
+                                         bit::PopcountKind::kBuiltin,
+                                         &paths[b]);
   });
+  RecordPairPathMetrics(paths);
   std::uint64_t raw = 0;
   for (const std::uint64_t shard_count : per_bank) raw += shard_count;
   return raw / graph::CountMultiplier(orientation);
@@ -342,11 +363,14 @@ std::uint64_t BankPool::HostCount2d(const bit::SlicedMatrix& matrix,
                                     graph::Orientation orientation) const {
   const TilePlan2d& plan2d = *plan.partition.plan2d;
   std::vector<std::uint64_t> per_bank(num_banks(), 0);
+  std::vector<bit::PairPathCounters> paths(num_banks());
   RunShards(plan.partition, [&](std::uint32_t b, const ShardInfo&) {
     const bit::SlicedStore* replica =
         plan.replicas.empty() ? nullptr : &plan.replicas[b];
-    per_bank[b] = CountBankShard2d(matrix, plan2d, b, replica);
+    per_bank[b] = CountBankShard2d(matrix, plan2d, b, replica,
+                                   bit::PopcountKind::kBuiltin, &paths[b]);
   });
+  RecordPairPathMetrics(paths);
   std::uint64_t raw = 0;
   for (const std::uint64_t shard_count : per_bank) raw += shard_count;
   return raw / graph::CountMultiplier(orientation);

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/relabel.h"
 
 namespace tcim::stream {
 
@@ -72,5 +73,22 @@ struct EdgeDelta {
 /// Writes batches in the replay format (round-trips through
 /// ReadDeltaStream; used by tests and the CLI examples).
 void WriteDeltaStream(std::span<const EdgeDelta> batches, std::ostream& out);
+
+/// Rewrites a delta from original vertex ids (the replay file's
+/// vocabulary) to internal ids (the relabeled matrix's vocabulary).
+/// Originals the map has never seen are assigned fresh internal ids —
+/// exactly the growth semantics the un-relabeled path gets from
+/// endpoints beyond the current vertex count. The map grows; callers
+/// keep it alive for the inverse translation when reporting.
+[[nodiscard]] inline EdgeDelta MapToInternal(const EdgeDelta& delta,
+                                             graph::VertexRelabeling& map) {
+  EdgeDelta mapped;
+  mapped.ops.reserve(delta.ops.size());
+  for (const EdgeOp& op : delta.ops) {
+    mapped.ops.push_back(
+        EdgeOp{map.ToInternal(op.u), map.ToInternal(op.v), op.insert});
+  }
+  return mapped;
+}
 
 }  // namespace tcim::stream

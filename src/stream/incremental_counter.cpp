@@ -28,11 +28,12 @@ IncrementalCounter::IncrementalCounter(const graph::Graph& g,
 }
 
 std::uint64_t IncrementalCounter::MatrixCommonNeighbors(
-    VertexId u, VertexId v, std::uint64_t* and_ops) const {
+    VertexId u, VertexId v, BatchStats* stats) const {
   const bit::SlicedMatrix& m = graph_.matrix();
   if (u >= m.num_vertices() || v >= m.num_vertices()) return 0;
   const bit::SlicedStore& rows = m.rows();
   const bit::SlicedStore& cols = m.cols();
+  std::uint64_t* const and_ops = stats != nullptr ? &stats->and_ops : nullptr;
   const bool symmetric =
       config_.orientation == graph::Orientation::kFullSymmetric;
   if (config_.popcount != bit::PopcountKind::kBuiltin) {
@@ -51,19 +52,50 @@ std::uint64_t IncrementalCounter::MatrixCommonNeighbors(
            bit::AndPopcountVectors(cols, u, cols, v, config_.popcount,
                                    and_ops);
   }
-  // Batched host path. N(u) = row_u (out) ⊎ col_u (in): the common
+  // Adaptive host path. N(u) = row_u (out) ⊎ col_u (in): the common
   // neighbourhood is the disjoint sum of the four store combinations
-  // (just row/row when full-symmetric), so all four gather into one
-  // arena and a single backend dispatch evaluates the whole wedge.
-  wedge_arena_.Clear();
-  std::size_t matched = bit::GatherValidPairs(rows, u, rows, v, wedge_arena_);
+  // (just row/row when full-symmetric), so all four gather as
+  // zero-copy descriptors and the whole wedge routes through the
+  // policy-chosen kernel path with one dispatch resolution.
+  wedge_refs_.clear();
+  std::size_t matched = bit::GatherValidPairRefs(rows, u, rows, v,
+                                                 wedge_refs_);
   if (!symmetric) {
-    matched += bit::GatherValidPairs(rows, u, cols, v, wedge_arena_);
-    matched += bit::GatherValidPairs(cols, u, rows, v, wedge_arena_);
-    matched += bit::GatherValidPairs(cols, u, cols, v, wedge_arena_);
+    matched += bit::GatherValidPairRefs(rows, u, cols, v, wedge_refs_);
+    matched += bit::GatherValidPairRefs(cols, u, rows, v, wedge_refs_);
+    matched += bit::GatherValidPairRefs(cols, u, cols, v, wedge_refs_);
   }
   if (and_ops != nullptr) *and_ops += matched;
-  return bit::AndPopcountPairs(wedge_arena_);
+  switch (bit::ChoosePairPolicy(m.rows().words_per_slice(),
+                                wedge_refs_.size(),
+                                bit::ActivePairPolicy())) {
+    case bit::PairPolicy::kBatched: {
+      wedge_arena_.Clear();
+      for (const bit::PairRef& ref : wedge_refs_) {
+        wedge_arena_.Push(ref.a, ref.b, ref.words);
+      }
+      if (stats != nullptr) {
+        stats->paths.batched_pairs += matched;
+        ++stats->paths.batched_flushes;
+      }
+      return bit::AndPopcountPairs(wedge_arena_);
+    }
+    case bit::PairPolicy::kZeroCopy:
+      if (stats != nullptr) {
+        stats->paths.zero_copy_pairs += matched;
+        ++stats->paths.zero_copy_flushes;
+      }
+      return bit::AndPopcountPairsZeroCopy(wedge_refs_);
+    case bit::PairPolicy::kPerPair: {
+      std::uint64_t total = 0;
+      for (const bit::PairRef& ref : wedge_refs_) {
+        total += bit::AndPopcountActive(ref.a, ref.b, ref.words);
+      }
+      if (stats != nullptr) stats->paths.per_pair_pairs += matched;
+      return total;
+    }
+  }
+  return 0;
 }
 
 BatchResult IncrementalCounter::ApplyBatch(const EdgeDelta& delta) {
@@ -130,7 +162,7 @@ BatchResult IncrementalCounter::ApplyBatch(const EdgeDelta& delta) {
   std::int64_t delta_sum = 0;
   for (const EdgeOp& op : ops) {
     std::int64_t cn = static_cast<std::int64_t>(
-        MatrixCommonNeighbors(op.u, op.v, &result.stats.and_ops));
+        MatrixCommonNeighbors(op.u, op.v, &result.stats));
     for (const OverlayEntry& entry : overlay) {
       if (entry.net == 0) continue;
       if (entry.u == op.u || entry.v == op.u) {

@@ -32,6 +32,7 @@
 
 #include "bitmatrix/kernel_backend.h"
 #include "bitmatrix/popcount.h"
+#include "bitmatrix/sliced_matrix.h"
 #include "graph/graph.h"
 #include "graph/orientation.h"
 #include "stream/dynamic_graph.h"
@@ -66,6 +67,11 @@ struct BatchStats {
   std::uint64_t ops_dropped = 0;  ///< self-loops, duplicates, absent deletes
   ApplyStats applied;             ///< net inserts/deletes/flips + patches
   std::uint64_t and_ops = 0;      ///< slice ANDs issued by the wedge kernel
+  /// Adaptive-policy routing of those ANDs: which kernel path consumed
+  /// each wedge (kernel_backend.h, PairPolicy). Zero under the
+  /// hardware-model kinds and on recount batches (the recount pass
+  /// reports through ExecStats of the full count, not here).
+  bit::PairPathCounters paths;
   std::uint64_t probe_checks = 0; ///< overlay membership corrections
   bool used_recount = false;
   double host_seconds = 0.0;
@@ -97,11 +103,12 @@ class IncrementalCounter {
  private:
   /// |N(u) ∩ N(v)| against the pre-batch matrix (zero for vertices
   /// beyond its universe). At the default kBuiltin the four store
-  /// combinations are gathered into wedge_arena_ and evaluated by ONE
-  /// batched backend dispatch (kernel_backend.h) instead of four
-  /// per-pair sweeps.
+  /// combinations are gathered as zero-copy descriptors and the whole
+  /// wedge routes through the adaptive pair policy (kernel_backend.h)
+  /// with one dispatch resolution instead of four per-pair sweeps.
+  /// `stats` (when non-null) accumulates and_ops + per-path routing.
   [[nodiscard]] std::uint64_t MatrixCommonNeighbors(
-      graph::VertexId u, graph::VertexId v, std::uint64_t* and_ops) const;
+      graph::VertexId u, graph::VertexId v, BatchStats* stats) const;
 
   StreamConfig config_;
   DynamicGraph graph_;
@@ -109,6 +116,7 @@ class IncrementalCounter {
   /// Gather scratch of the 4-way wedge kernel, reused across ops of a
   /// batch. mutable: MatrixCommonNeighbors is logically const; the
   /// class is single-writer (ApplyBatch is not thread-safe) already.
+  mutable std::vector<bit::PairRef> wedge_refs_;
   mutable bit::PairArena wedge_arena_;
 };
 

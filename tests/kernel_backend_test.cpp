@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -255,6 +257,259 @@ TEST(PairArena, UnsupportedBackendThrows) {
                  std::invalid_argument)
         << ToString(backend);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy pair kernel: in-place descriptor evaluation must be
+// bit-exact with the per-pair reference for every supported backend,
+// across every length in kLengths (0 words up to 200 — past every
+// SIMD block width in play) and with mixed widths in one list.
+
+TEST_P(BackendParityTest, ZeroCopyPairsMatchReferenceOnAllLengths) {
+  const KernelBackend backend = GetParam();
+  std::uint64_t seed = 31;
+  for (const std::size_t n : kLengths) {
+    const auto a = MakeWords(n, Fill::kDense, seed++);
+    const auto b = MakeWords(n, Fill::kSparse, seed++);
+    const PairRef ref{a.data(), b.data(), static_cast<std::uint32_t>(n)};
+    ASSERT_EQ(AndPopcountPairsZeroCopyBackend(std::span(&ref, 1), backend),
+              ReferenceAndPopcount(a, b))
+        << ToString(backend) << " n=" << n;
+  }
+}
+
+TEST_P(BackendParityTest, ZeroCopyMixedWidthListMatchesReference) {
+  const KernelBackend backend = GetParam();
+  util::Xoshiro256 rng(613);
+  std::vector<std::vector<std::uint64_t>> storage;
+  std::vector<PairRef> refs;
+  std::uint64_t expected = 0;
+  for (const std::size_t n : kLengths) {
+    auto a = MakeWords(n, Fill::kDense, rng());
+    auto b = MakeWords(n, Fill::kAlternating, rng());
+    expected += ReferenceAndPopcount(a, b);
+    storage.push_back(std::move(a));
+    storage.push_back(std::move(b));
+    const auto& sa = storage[storage.size() - 2];
+    const auto& sb = storage[storage.size() - 1];
+    refs.push_back(PairRef{sa.data(), sb.data(),
+                           static_cast<std::uint32_t>(n)});
+  }
+  EXPECT_EQ(AndPopcountPairsZeroCopyBackend(refs, backend), expected)
+      << ToString(backend);
+  // Empty list sums to zero without touching any pointer.
+  EXPECT_EQ(AndPopcountPairsZeroCopyBackend({}, backend), 0u);
+}
+
+TEST_P(BackendParityTest, ZeroCopyActiveDispatchMatchesForcedBackend) {
+  BackendGuard guard;
+  SetActiveBackend(GetParam());
+  util::Xoshiro256 rng(1789);
+  std::vector<std::uint64_t> a(8);
+  std::vector<std::uint64_t> b(8);
+  for (auto& w : a) w = rng();
+  for (auto& w : b) w = rng();
+  std::vector<PairRef> refs;
+  for (std::uint32_t words = 0; words <= 8; ++words) {
+    refs.push_back(PairRef{a.data(), b.data(), words});
+  }
+  EXPECT_EQ(AndPopcountPairsZeroCopy(refs),
+            AndPopcountPairsZeroCopyBackend(refs, GetParam()));
+}
+
+TEST(ZeroCopyPairs, UnsupportedBackendThrows) {
+  const std::uint64_t word = 0x123456789ABCDEF0ULL;
+  const PairRef ref{&word, &word, 1};
+  for (const KernelBackend backend : AllKernelBackends()) {
+    if (BackendSupported(backend)) continue;
+    EXPECT_THROW(
+        (void)AndPopcountPairsZeroCopyBackend(std::span(&ref, 1), backend),
+        std::invalid_argument)
+        << ToString(backend);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PairArena block-flush audit: parity exactly at, just under, and just
+// past the 2048-word flush granularity the matrix gather uses — the
+// widths {1, 7, 8} make the boundary land mid-pair, at a pair edge,
+// and at a power-of-two pair edge respectively. Every supported
+// backend must agree with the per-pair reference on both the arena
+// and the zero-copy formulation of the same pair list.
+
+TEST_P(BackendParityTest, FlushBoundaryParityOnArenaAndZeroCopy) {
+  const KernelBackend backend = GetParam();
+  constexpr std::size_t kFlushWords = 2048;
+  util::Xoshiro256 rng(20480);
+  for (const std::size_t width : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{8}}) {
+    const std::size_t at_boundary = kFlushWords / width;
+    for (const std::size_t pairs :
+         {at_boundary - 1, at_boundary, at_boundary + 1,
+          2 * at_boundary + 1}) {
+      PairArena arena;
+      std::vector<std::vector<std::uint64_t>> storage;
+      std::vector<PairRef> refs;
+      std::uint64_t expected = 0;
+      storage.reserve(2 * pairs);
+      for (std::size_t p = 0; p < pairs; ++p) {
+        auto a = MakeWords(width, Fill::kDense, rng());
+        auto b = MakeWords(width, p % 2 == 0 ? Fill::kOnes : Fill::kSparse,
+                           rng());
+        expected += ReferenceAndPopcount(a, b);
+        arena.Push(a.data(), b.data(), width);
+        storage.push_back(std::move(a));
+        storage.push_back(std::move(b));
+        refs.push_back(PairRef{storage[storage.size() - 2].data(),
+                               storage[storage.size() - 1].data(),
+                               static_cast<std::uint32_t>(width)});
+      }
+      ASSERT_EQ(AndPopcountPairsBackend(arena, backend), expected)
+          << ToString(backend) << " width=" << width << " pairs=" << pairs;
+      ASSERT_EQ(AndPopcountPairsZeroCopyBackend(refs, backend), expected)
+          << ToString(backend) << " width=" << width << " pairs=" << pairs;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive pair policy: the decision table, the TCIM_PAIR_POLICY
+// vocabulary, and the process-wide forced override.
+
+/// Restores the forced pair policy (and TCIM_PAIR_POLICY) on scope
+/// exit, mirroring BackendGuard.
+class PairPolicyGuard {
+ public:
+  PairPolicyGuard() : saved_(ActivePairPolicy().forced) {
+    const char* env = std::getenv("TCIM_PAIR_POLICY");
+    if (env != nullptr) saved_env_ = env;
+  }
+  ~PairPolicyGuard() {
+    if (saved_env_.has_value()) {
+      ::setenv("TCIM_PAIR_POLICY", saved_env_->c_str(), 1);
+    } else {
+      ::unsetenv("TCIM_PAIR_POLICY");
+    }
+    SetActivePairPolicy(saved_);
+  }
+
+ private:
+  std::optional<PairPolicy> saved_;
+  std::optional<std::string> saved_env_;
+};
+
+TEST(PairPolicy, NamesRoundTripAndAliases) {
+  for (const PairPolicy policy : {PairPolicy::kBatched, PairPolicy::kZeroCopy,
+                                  PairPolicy::kPerPair}) {
+    const auto parsed = ParsePairPolicy(ToString(policy));
+    ASSERT_TRUE(parsed.has_value()) << ToString(policy);
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_EQ(ParsePairPolicy("zero_copy"), PairPolicy::kZeroCopy);
+  EXPECT_EQ(ParsePairPolicy("zero-copy"), PairPolicy::kZeroCopy);
+  EXPECT_EQ(ParsePairPolicy("per_pair"), PairPolicy::kPerPair);
+  EXPECT_EQ(ParsePairPolicy("per-pair"), PairPolicy::kPerPair);
+  EXPECT_FALSE(ParsePairPolicy("auto").has_value());
+  EXPECT_FALSE(ParsePairPolicy("").has_value());
+  EXPECT_FALSE(ParsePairPolicy("Batched").has_value());
+}
+
+TEST(PairPolicy, DefaultDecisionTableRoutesEverythingZeroCopy) {
+  // The measured schema-v4 cells: zero-copy >= batched at every
+  // (width, pairs) cell, so the default config never picks the arena.
+  const PairPolicyConfig cfg;
+  ASSERT_FALSE(cfg.forced.has_value());
+  for (const std::size_t width : {1u, 2u, 4u, 8u, 16u}) {
+    for (const std::size_t pairs : {0u, 1u, 15u, 16u, 2048u}) {
+      EXPECT_EQ(ChoosePairPolicy(width, pairs, cfg), PairPolicy::kZeroCopy)
+          << "width=" << width << " pairs=" << pairs;
+    }
+  }
+}
+
+TEST(PairPolicy, RaisedMinWidthReopensTheBatchedWindow) {
+  // The crossover logic stays testable for ports where a contiguous
+  // stream beats gathered loads: narrow-and-long routes batched,
+  // wide-or-short still routes zero-copy, and kPerPair is only ever
+  // returned when forced.
+  PairPolicyConfig cfg;
+  cfg.zero_copy_min_width = 4;
+  cfg.batched_min_pairs = 16;
+  EXPECT_EQ(ChoosePairPolicy(1, 2048, cfg), PairPolicy::kBatched);
+  EXPECT_EQ(ChoosePairPolicy(3, 16, cfg), PairPolicy::kBatched);
+  EXPECT_EQ(ChoosePairPolicy(1, 15, cfg), PairPolicy::kZeroCopy);
+  EXPECT_EQ(ChoosePairPolicy(4, 2048, cfg), PairPolicy::kZeroCopy);
+  EXPECT_EQ(ChoosePairPolicy(8, 1, cfg), PairPolicy::kZeroCopy);
+  for (const PairPolicy forced :
+       {PairPolicy::kBatched, PairPolicy::kZeroCopy, PairPolicy::kPerPair}) {
+    cfg.forced = forced;
+    EXPECT_EQ(ChoosePairPolicy(1, 2048, cfg), forced);
+    EXPECT_EQ(ChoosePairPolicy(8, 1, cfg), forced);
+  }
+}
+
+TEST(PairPolicy, DirectPairLoopRequiresAllThreeSignals) {
+  // The cold-no-reuse regime needs every signal at once: wide slices,
+  // a store that spills the cache, and no slice reuse to amortize the
+  // deferred flush against.
+  const PairPolicyConfig cfg;
+  const std::uint64_t spill = cfg.direct_min_store_bytes + 1;
+  EXPECT_TRUE(ChooseDirectPairLoop(8, spill, 1.3, cfg));
+  EXPECT_TRUE(ChooseDirectPairLoop(16, spill * 4, 1.0, cfg));
+  // Any one signal missing keeps the gathered executor.
+  EXPECT_FALSE(ChooseDirectPairLoop(7, spill, 1.3, cfg));     // narrow
+  EXPECT_FALSE(ChooseDirectPairLoop(8, spill - 2, 1.3, cfg))  // cache-resident
+      << "store at the threshold must stay gathered";
+  EXPECT_FALSE(ChooseDirectPairLoop(8, spill, 1.7, cfg));  // hub reuse
+  // Threshold edges: width and avg-valid-slices are inclusive, bytes
+  // is strictly greater-than.
+  EXPECT_TRUE(ChooseDirectPairLoop(cfg.direct_min_width, spill,
+                                   cfg.direct_max_avg_valid_slices, cfg));
+  EXPECT_FALSE(ChooseDirectPairLoop(8, cfg.direct_min_store_bytes, 1.3, cfg));
+}
+
+TEST(PairPolicy, DirectPairLoopNeverFiresWhenForced) {
+  // Forcing a policy pins the gathered executor; the pass-level direct
+  // rule must stand down so forced A/B runs measure what they claim.
+  PairPolicyConfig cfg;
+  const std::uint64_t spill = cfg.direct_min_store_bytes + 1;
+  ASSERT_TRUE(ChooseDirectPairLoop(8, spill, 1.0, cfg));
+  for (const PairPolicy forced :
+       {PairPolicy::kBatched, PairPolicy::kZeroCopy, PairPolicy::kPerPair}) {
+    cfg.forced = forced;
+    EXPECT_FALSE(ChooseDirectPairLoop(8, spill, 1.0, cfg));
+  }
+}
+
+TEST(PairPolicy, SetActivePairPolicyRoundTrips) {
+  PairPolicyGuard guard;
+  for (const PairPolicy forced :
+       {PairPolicy::kBatched, PairPolicy::kZeroCopy, PairPolicy::kPerPair}) {
+    SetActivePairPolicy(forced);
+    const PairPolicyConfig cfg = ActivePairPolicy();
+    ASSERT_TRUE(cfg.forced.has_value());
+    EXPECT_EQ(*cfg.forced, forced);
+    EXPECT_EQ(ChoosePairPolicy(1, 2048, cfg), forced);
+  }
+  SetActivePairPolicy(std::nullopt);
+  EXPECT_FALSE(ActivePairPolicy().forced.has_value());
+}
+
+TEST(PairPolicy, EnvOverrideRoundTrips) {
+  PairPolicyGuard guard;
+  for (const char* name : {"batched", "zerocopy", "perpair"}) {
+    ::setenv("TCIM_PAIR_POLICY", name, 1);
+    const PairPolicyConfig cfg = RefreshPairPolicyFromEnv();
+    ASSERT_TRUE(cfg.forced.has_value()) << name;
+    EXPECT_EQ(*cfg.forced, *ParsePairPolicy(name)) << name;
+  }
+  ::setenv("TCIM_PAIR_POLICY", "auto", 1);
+  EXPECT_FALSE(RefreshPairPolicyFromEnv().forced.has_value());
+  ::unsetenv("TCIM_PAIR_POLICY");
+  EXPECT_FALSE(RefreshPairPolicyFromEnv().forced.has_value());
+  // Unknown values warn and mean auto, mirroring TCIM_KERNEL.
+  ::setenv("TCIM_PAIR_POLICY", "quantum", 1);
+  EXPECT_FALSE(RefreshPairPolicyFromEnv().forced.has_value());
 }
 
 // ---------------------------------------------------------------------------

@@ -4,10 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "bitmatrix/kernel_backend.h"
 #include "bitmatrix/sliced_matrix.h"
 #include "bitmatrix/sliced_store.h"
 #include "util/env.h"
@@ -455,6 +457,103 @@ TEST(SlicedMatrixBatched, HotPathNeverTouchesHardwareModelCounters) {
   const std::uint64_t lut_total = m.AndPopcountAllEdges(PopcountKind::kLut8);
   EXPECT_EQ(lut_total, m.AndPopcountAllEdges());
   EXPECT_GT(Lut8Invocations(), before);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive pair policy at the matrix level: every forced policy and
+// the auto rule must produce the exact per-pair total, and the
+// PairPathCounters must attribute every gathered pair to the path
+// that actually consumed it.
+
+/// Restores the forced pair policy on scope exit.
+class PairPolicyGuard {
+ public:
+  PairPolicyGuard() : saved_(ActivePairPolicy().forced) {}
+  ~PairPolicyGuard() { SetActivePairPolicy(saved_); }
+
+ private:
+  std::optional<PairPolicy> saved_;
+};
+
+TEST(SlicedMatrixPolicy, ForcedPoliciesAgreeAndRouteCounters) {
+  PairPolicyGuard guard;
+  for (const std::uint32_t slice_bits : {64u, 448u, 512u}) {
+    const SlicedMatrix m = RandomUpperMatrix(300, 6, slice_bits, 2024);
+    const std::uint64_t expected = PerPairReference(m);
+
+    SetActivePairPolicy(std::nullopt);
+    PairPathCounters auto_counters;
+    EXPECT_EQ(m.AndPopcountAllEdges(PopcountKind::kBuiltin, &auto_counters),
+              expected)
+        << "slice_bits=" << slice_bits;
+    // Default decision table: zero-copy at every width (schema-v4
+    // measurement — the arena memcpy never pays for itself).
+    EXPECT_EQ(auto_counters.batched_pairs, 0u);
+    EXPECT_EQ(auto_counters.per_pair_pairs, 0u);
+    EXPECT_GT(auto_counters.zero_copy_pairs, 0u);
+    const std::uint64_t total_pairs = auto_counters.TotalPairs();
+
+    SetActivePairPolicy(PairPolicy::kBatched);
+    PairPathCounters batched;
+    EXPECT_EQ(m.AndPopcountAllEdges(PopcountKind::kBuiltin, &batched),
+              expected);
+    EXPECT_EQ(batched.batched_pairs, total_pairs);
+    EXPECT_EQ(batched.zero_copy_pairs, 0u);
+    EXPECT_EQ(batched.per_pair_pairs, 0u);
+    EXPECT_GT(batched.batched_flushes, 0u);
+
+    SetActivePairPolicy(PairPolicy::kZeroCopy);
+    PairPathCounters zero_copy;
+    EXPECT_EQ(m.AndPopcountAllEdges(PopcountKind::kBuiltin, &zero_copy),
+              expected);
+    EXPECT_EQ(zero_copy.zero_copy_pairs, total_pairs);
+    EXPECT_EQ(zero_copy.batched_pairs, 0u);
+    EXPECT_GT(zero_copy.zero_copy_flushes, 0u);
+
+    SetActivePairPolicy(PairPolicy::kPerPair);
+    PairPathCounters per_pair;
+    EXPECT_EQ(m.AndPopcountAllEdges(PopcountKind::kBuiltin, &per_pair),
+              expected);
+    EXPECT_EQ(per_pair.per_pair_pairs, total_pairs);
+    EXPECT_EQ(per_pair.batched_pairs, 0u);
+    EXPECT_EQ(per_pair.zero_copy_pairs, 0u);
+  }
+}
+
+TEST(SlicedMatrixPolicy, RowShardCountersSumToWholeMatrix) {
+  PairPolicyGuard guard;
+  SetActivePairPolicy(std::nullopt);
+  const SlicedMatrix m = RandomUpperMatrix(400, 7, 64, 4096);
+  PairPathCounters whole;
+  const std::uint64_t total =
+      m.AndPopcountAllEdges(PopcountKind::kBuiltin, &whole);
+  PairPathCounters sharded;
+  std::uint64_t sum = 0;
+  for (const auto [begin, end] :
+       {std::pair<std::uint32_t, std::uint32_t>{0, 100},
+        {100, 101},
+        {101, 400}}) {
+    sum += m.AndPopcountRows(begin, end, PopcountKind::kBuiltin, &sharded);
+  }
+  EXPECT_EQ(sum, total);
+  EXPECT_EQ(sharded.TotalPairs(), whole.TotalPairs());
+  EXPECT_EQ(sharded.zero_copy_pairs, whole.zero_copy_pairs);
+}
+
+TEST(SlicedMatrixPolicy, FlushBoundaryParityUnderEveryPolicy) {
+  // Dense enough that single rows gather past the 2 Ki-word flush
+  // block repeatedly; the total must be exact on every route.
+  PairPolicyGuard guard;
+  const SlicedMatrix m = RandomUpperMatrix(700, 700, 64, 31415);
+  const std::uint64_t expected = PerPairReference(m);
+  for (const std::optional<PairPolicy> forced :
+       {std::optional<PairPolicy>{}, std::optional{PairPolicy::kBatched},
+        std::optional{PairPolicy::kZeroCopy},
+        std::optional{PairPolicy::kPerPair}}) {
+    SetActivePairPolicy(forced);
+    EXPECT_EQ(m.AndPopcountAllEdges(), expected)
+        << (forced.has_value() ? ToString(*forced) : "auto");
+  }
 }
 
 TEST(SlicedStoreGather, GatherValidPairsMatchesMergeAndCountsPairs) {

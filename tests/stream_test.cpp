@@ -370,6 +370,54 @@ TEST(IncrementalCounter, BatchedWedgeKernelSkipsHardwareModel) {
   EXPECT_EQ(r.triangles, RecountTruth(modeled));
 }
 
+TEST(IncrementalCounter, WedgeKernelExactUnderEveryPairPolicy) {
+  // The same insert batch must produce the same triangle delta on
+  // every forced pair-enumeration policy, and BatchStats.paths must
+  // attribute the wedge ANDs to the path that actually ran (the auto
+  // rule routes every width zero-copy; see kernel_backend.h).
+  const std::optional<bit::PairPolicy> saved = bit::ActivePairPolicy().forced;
+  stream::StreamConfig config;
+  config.recount_fraction = 1.0;
+
+  bit::SetActivePairPolicy(std::nullopt);
+  {
+    stream::IncrementalCounter counter(SeedGraph(), config);
+    EdgeDelta delta;
+    delta.Insert(0, 3);
+    const stream::BatchResult r = counter.ApplyBatch(delta);
+    EXPECT_EQ(r.delta, 2);
+    EXPECT_GT(r.stats.paths.zero_copy_pairs, 0u);
+    EXPECT_EQ(r.stats.paths.batched_pairs, 0u);
+    EXPECT_EQ(r.stats.paths.per_pair_pairs, 0u);
+    EXPECT_EQ(r.stats.paths.TotalPairs(), r.stats.and_ops);
+  }
+  for (const bit::PairPolicy forced :
+       {bit::PairPolicy::kBatched, bit::PairPolicy::kZeroCopy,
+        bit::PairPolicy::kPerPair}) {
+    bit::SetActivePairPolicy(forced);
+    stream::IncrementalCounter counter(SeedGraph(), config);
+    EdgeDelta delta;
+    delta.Insert(0, 3);
+    const stream::BatchResult r = counter.ApplyBatch(delta);
+    EXPECT_EQ(r.delta, 2) << bit::ToString(forced);
+    EXPECT_EQ(r.triangles, RecountTruth(counter)) << bit::ToString(forced);
+    EXPECT_EQ(r.stats.paths.TotalPairs(), r.stats.and_ops)
+        << bit::ToString(forced);
+    switch (forced) {
+      case bit::PairPolicy::kBatched:
+        EXPECT_EQ(r.stats.paths.batched_pairs, r.stats.and_ops);
+        break;
+      case bit::PairPolicy::kZeroCopy:
+        EXPECT_EQ(r.stats.paths.zero_copy_pairs, r.stats.and_ops);
+        break;
+      case bit::PairPolicy::kPerPair:
+        EXPECT_EQ(r.stats.paths.per_pair_pairs, r.stats.and_ops);
+        break;
+    }
+  }
+  bit::SetActivePairPolicy(saved);
+}
+
 TEST(IncrementalCounter, SingleDeleteOpensWedges) {
   stream::IncrementalCounter counter(SeedGraph());
   EdgeDelta delta;

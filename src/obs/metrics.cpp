@@ -7,11 +7,12 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 
 #include "util/env.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tcim::obs {
 
@@ -120,11 +121,17 @@ double Histogram::Percentile(double p) const noexcept {
 // Registry
 
 struct Registry::Impl {
-  mutable std::mutex mu;
-  // map keeps scrape output sorted and node addresses stable.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  mutable util::Mutex mu;
+  // map keeps scrape output sorted and node addresses stable. The maps
+  // are guarded; the pointed-to metric objects are deliberately NOT
+  // (recording is wait-free on relaxed atomics once a reference is
+  // handed out — the design contract in the header).
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters
+      TCIM_GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges
+      TCIM_GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms
+      TCIM_GUARDED_BY(mu);
 };
 
 Registry& Registry::Global() {
@@ -141,7 +148,7 @@ Registry::Impl& Registry::impl() const {
 
 Counter& Registry::GetCounter(std::string_view name) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  util::MutexLock lock(&im.mu);
   auto it = im.counters.find(name);
   if (it == im.counters.end()) {
     it = im.counters.emplace(std::string(name), std::make_unique<Counter>())
@@ -152,7 +159,7 @@ Counter& Registry::GetCounter(std::string_view name) {
 
 Gauge& Registry::GetGauge(std::string_view name) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  util::MutexLock lock(&im.mu);
   auto it = im.gauges.find(name);
   if (it == im.gauges.end()) {
     it = im.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -162,7 +169,7 @@ Gauge& Registry::GetGauge(std::string_view name) {
 
 Histogram& Registry::GetHistogram(std::string_view name) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  util::MutexLock lock(&im.mu);
   auto it = im.histograms.find(name);
   if (it == im.histograms.end()) {
     it = im.histograms
@@ -174,7 +181,7 @@ Histogram& Registry::GetHistogram(std::string_view name) {
 
 std::vector<MetricSample> Registry::Snapshot() const {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  util::MutexLock lock(&im.mu);
   std::vector<MetricSample> out;
   out.reserve(im.counters.size() + im.gauges.size() + im.histograms.size());
   for (const auto& [name, c] : im.counters) {

@@ -18,6 +18,10 @@
 //
 // This layer sits below bitmatrix/stream/runtime and depends only on
 // the standard library.
+//
+// Layer: §14 obs — see docs/ARCHITECTURE.md. Units: histogram values
+// are whatever the call site records (the name suffix says — seconds,
+// bytes, counts); registry math never converts.
 
 #pragma once
 

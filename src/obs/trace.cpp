@@ -4,11 +4,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <mutex>
 #include <utility>
 
 #include "obs/metrics.h"
 #include "util/env.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tcim::obs {
 
@@ -38,7 +39,7 @@ class Collector {
   void Start(const std::string& path) {
     bool register_atexit = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(&mu_);
       if (internal::g_trace_enabled.load(std::memory_order_relaxed)) return;
       if (!atexit_registered_) {
         atexit_registered_ = true;
@@ -50,7 +51,12 @@ class Collector {
       events_.clear();
       dropped_.store(0, std::memory_order_relaxed);
       dirty_ = false;
-      base_ = std::chrono::steady_clock::now();
+      // base_ is atomic, not guarded: NowNs() is the wait-free stamp
+      // path and must not take mu_. Annotating the class surfaced
+      // this as a plain-field data race (Start wrote a non-atomic
+      // time_point under mu_ that every Emit read lock-free) — see
+      // obs_test TraceRestartWhileEmittingIsRaceFree.
+      base_.store(SteadyNowNs(), std::memory_order_relaxed);
       internal::g_trace_enabled.store(true, std::memory_order_relaxed);
     }
     if (register_atexit) {
@@ -60,19 +66,19 @@ class Collector {
 
   void Stop() {
     internal::g_trace_enabled.store(false, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (!path_.empty()) WriteFileLocked();
   }
 
   void WriteAtExit() {
     internal::g_trace_enabled.store(false, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (dirty_ && !path_.empty()) WriteFileLocked();
   }
 
   void Absorb(std::vector<TraceEvent>&& events) {
     if (events.empty()) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     for (TraceEvent& e : events) {
       if (events_.size() >= kMaxCollectedEvents) {
         dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -84,19 +90,16 @@ class Collector {
   }
 
   std::uint64_t NowNs() const noexcept {
-    return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - base_)
-            .count());
+    return SteadyNowNs() - base_.load(std::memory_order_relaxed);
   }
 
   std::string Path() {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     return path_;
   }
 
   std::vector<TraceEvent> SnapshotEvents() {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     return events_;
   }
 
@@ -105,9 +108,16 @@ class Collector {
   }
 
  private:
-  Collector() : base_(std::chrono::steady_clock::now()) {}
+  Collector() : base_(SteadyNowNs()) {}
 
-  void WriteFileLocked() {
+  static std::uint64_t SteadyNowNs() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  void WriteFileLocked() TCIM_REQUIRES(mu_) {
     std::ofstream out(path_, std::ios::trunc);
     if (!out) return;
     out << "{\"displayTimeUnit\":\"ms\",\"metadata\":{"
@@ -139,13 +149,16 @@ class Collector {
     dirty_ = false;
   }
 
-  std::mutex mu_;
-  std::string path_;
-  std::chrono::steady_clock::time_point base_;
-  std::vector<TraceEvent> events_;
+  util::Mutex mu_;
+  std::string path_ TCIM_GUARDED_BY(mu_);
+  /// Capture origin, steady-clock ns since epoch. Atomic, not guarded:
+  /// Start() rebases it while emitter threads stamp events through
+  /// NowNs() lock-free (the wait-free hot path).
+  std::atomic<std::uint64_t> base_;
+  std::vector<TraceEvent> events_ TCIM_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> dropped_{0};
-  bool dirty_ = false;
-  bool atexit_registered_ = false;
+  bool dirty_ TCIM_GUARDED_BY(mu_) = false;
+  bool atexit_registered_ TCIM_GUARDED_BY(mu_) = false;
 };
 
 struct ThreadBuffer {

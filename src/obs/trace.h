@@ -15,6 +15,10 @@
 //
 // Name/category arguments must be string literals (or otherwise
 // outlive the process): events store the pointers, not copies.
+//
+// Layer: §14 obs — see docs/ARCHITECTURE.md. Units: timestamps and
+// durations are steady-clock nanoseconds since trace start; the
+// written JSON converts to Chrome's microseconds at format time.
 
 #pragma once
 

@@ -38,10 +38,10 @@ WorkerPool::WorkerPool(std::uint32_t num_threads) {
     // members about to be destroyed, nor joinable threads for
     // ~vector<thread> to terminate on.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(&mu_);
       stopping_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     for (std::thread& t : threads_) t.join();
     throw;
   }
@@ -49,27 +49,27 @@ WorkerPool::WorkerPool(std::uint32_t num_threads) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
 void WorkerPool::Post(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     tasks_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void WorkerPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      util::MutexLock lock(&mu_);
+      while (!stopping_ && tasks_.empty()) cv_.Wait(mu_);
       if (tasks_.empty()) return;  // stopping_ && drained
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -173,9 +173,11 @@ void BankPool::RunShards(
     const std::function<void(std::uint32_t, const ShardInfo&)>& run_shard)
     const {
   // One completion latch per call so concurrent Count()/HostCount()
-  // invocations can interleave on the same worker pool.
-  std::mutex mu;
-  std::condition_variable done_cv;
+  // invocations can interleave on the same worker pool. Local state, so
+  // the lock discipline is scope-visible rather than TCIM_GUARDED_BY:
+  // `remaining`/`first_error` are only touched under `mu`.
+  util::Mutex mu;
+  util::CondVar done_cv;
   std::uint32_t remaining = num_banks();
   std::exception_ptr first_error;
   // Per-shard wall times, slot-per-bank so the workers write without
@@ -183,8 +185,8 @@ void BankPool::RunShards(
   std::vector<double> shard_seconds(num_banks(), 0.0);
 
   const auto wait_for_shards = [&] {
-    std::unique_lock<std::mutex> lock(mu);
-    done_cv.wait(lock, [&] { return remaining == 0; });
+    util::MutexLock lock(&mu);
+    while (remaining != 0) done_cv.Wait(mu);
   };
   std::uint32_t posted = 0;
   try {
@@ -208,9 +210,9 @@ void BankPool::RunShards(
           }
           shard_seconds[b] = clock.ElapsedSeconds();
         }
-        std::lock_guard<std::mutex> lock(mu);
+        util::MutexLock lock(&mu);
         if (error && !first_error) first_error = error;
-        if (--remaining == 0) done_cv.notify_all();
+        if (--remaining == 0) done_cv.NotifyAll();
       });
       ++posted;
     }
@@ -218,7 +220,7 @@ void BankPool::RunShards(
     // Post() failed mid-loop: already-posted tasks reference this
     // frame's locals, so drain them before unwinding.
     {
-      std::lock_guard<std::mutex> lock(mu);
+      util::MutexLock lock(&mu);
       remaining -= num_banks() - posted;
     }
     wait_for_shards();

@@ -24,12 +24,10 @@
 // joules via core::PerfResult; counts dimensionless.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -38,6 +36,8 @@
 #include "runtime/aggregate.h"
 #include "runtime/epoch_manager.h"
 #include "runtime/partitioner.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tcim::runtime {
 
@@ -63,10 +63,11 @@ class WorkerPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
-  bool stopping_ = false;
+  util::Mutex mu_;
+  util::CondVar cv_;
+  std::deque<std::function<void()>> tasks_ TCIM_GUARDED_BY(mu_);
+  bool stopping_ TCIM_GUARDED_BY(mu_) = false;
+  /// Written only in the constructor; joined by the destructor.
   std::vector<std::thread> threads_;
 };
 

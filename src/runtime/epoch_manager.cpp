@@ -40,7 +40,7 @@ std::uint64_t EpochManager::Publish(EpochSnapshot snapshot) {
       counters_->live.load(std::memory_order_relaxed)));
   std::uint64_t id = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     id = next_epoch_++;
     raw->epoch = id;
     current_ = std::move(next);  // may retire the predecessor here
@@ -59,7 +59,7 @@ EpochManager::Pin EpochManager::PinCurrent() const {
   util::Timer clock;
   Pin pin;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     pin = current_;
   }
   EpochMetrics::Get().pin_seconds.Observe(clock.ElapsedSeconds());
@@ -67,7 +67,7 @@ EpochManager::Pin EpochManager::PinCurrent() const {
 }
 
 std::uint64_t EpochManager::current_epoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return current_ == nullptr ? 0 : current_->epoch;
 }
 

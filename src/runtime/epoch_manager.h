@@ -29,13 +29,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "bitmatrix/sliced_matrix.h"
 #include "graph/graph.h"
 #include "graph/orientation.h"
 #include "runtime/partitioner.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tcim::runtime {
 
@@ -67,22 +68,24 @@ class PlanCache2d {
 
   /// The cached plan, or null if none was built yet.
   [[nodiscard]] PlanPtr Get() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     return plan_;
   }
   /// True once a plan has been built (used by the invalidation metric:
   /// only a *built* plan being dropped counts as an invalidation).
   [[nodiscard]] bool has_plan() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     return plan_ != nullptr;
   }
   /// Returns the cached plan if it matches `num_banks`, else builds
   /// one via `build` and caches it. The bank check makes a stale
   /// carry-forward (different pool) a rebuild, never a wrong answer.
+  /// `build` runs under mu_ (one builder at a time, by design: a plan
+  /// is expensive and concurrent queries should share one build).
   [[nodiscard]] PlanPtr GetOrBuild(
       std::uint32_t num_banks,
       const std::function<ServingPlan2d()>& build) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (plan_ == nullptr || plan_->partition.shards.size() != num_banks) {
       plan_ = std::make_shared<const ServingPlan2d>(build());
     }
@@ -90,8 +93,8 @@ class PlanCache2d {
   }
 
  private:
-  mutable std::mutex mu_;
-  PlanPtr plan_;
+  mutable util::Mutex mu_;
+  PlanPtr plan_ TCIM_GUARDED_BY(mu_);
 };
 
 /// One published, immutable version of a streamed graph. Everything a
@@ -161,9 +164,9 @@ class EpochManager {
   };
 
   std::shared_ptr<Counters> counters_;
-  mutable std::mutex mu_;  ///< guards current_ swap only
-  Pin current_;
-  std::uint64_t next_epoch_ = 0;
+  mutable util::Mutex mu_;  ///< guards the current_ swap only
+  Pin current_ TCIM_GUARDED_BY(mu_);
+  std::uint64_t next_epoch_ TCIM_GUARDED_BY(mu_) = 0;
 };
 
 /// From-scratch materialization of a pinned epoch as an undirected

@@ -16,15 +16,15 @@
 // queue/run times are host wall-clock seconds (SI).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 
 #include "runtime/aggregate.h"
 #include "stream/incremental_counter.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace tcim::runtime {
@@ -127,18 +127,18 @@ class JobRecord {
  public:
   JobRecord(std::uint64_t id, JobOptions options,
             JobKind kind = JobKind::kCount)
-      : id_(id), options_(std::move(options)) {
+      : id_(id), options_(std::move(options)), kind_(kind) {
     outcome_.kind = kind;
   }
 
   [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
-  [[nodiscard]] JobKind kind() const noexcept { return outcome_.kind; }
+  [[nodiscard]] JobKind kind() const noexcept { return kind_; }
   [[nodiscard]] const JobOptions& options() const noexcept {
     return options_;
   }
 
   [[nodiscard]] JobState state() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     return state_;
   }
 
@@ -146,15 +146,15 @@ class JobRecord {
   /// (MarkRunning / MarkCancelled). Feeds the scheduler.*.wait_seconds
   /// registry histograms.
   [[nodiscard]] double QueueSeconds() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     return outcome_.queue_seconds;
   }
 
   /// Blocks until terminal and returns the outcome (by value: the
   /// record outlives the scheduler, handles may Wait() after shutdown).
   [[nodiscard]] JobOutcome Wait() const {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return IsTerminalLocked(); });
+    util::MutexLock lock(&mu_);
+    while (!IsTerminalLocked()) cv_.Wait(mu_);
     return outcome_;
   }
 
@@ -162,7 +162,7 @@ class JobRecord {
 
   /// kQueued → kRunning. Returns false (no-op) if already cancelled.
   [[nodiscard]] bool MarkRunning(std::uint64_t start_order) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (state_ != JobState::kQueued) return false;
     state_ = JobState::kRunning;
     outcome_.queue_seconds = clock_.ElapsedSeconds();
@@ -191,12 +191,12 @@ class JobRecord {
   /// kQueued → kCancelled. Returns false if the job already left the
   /// queue (running or terminal).
   [[nodiscard]] bool MarkCancelled() {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (state_ != JobState::kQueued) return false;
     state_ = JobState::kCancelled;
     outcome_.state = JobState::kCancelled;
     outcome_.queue_seconds = clock_.ElapsedSeconds();
-    cv_.notify_all();
+    cv_.NotifyAll();
     return true;
   }
 
@@ -205,7 +205,7 @@ class JobRecord {
   void Finish(JobState state, ClusterResult result,
               stream::BatchResult update, QueryResult query,
               std::string error, std::uint64_t epoch) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     state_ = state;
     outcome_.state = state;
     outcome_.result = std::move(result);
@@ -214,21 +214,22 @@ class JobRecord {
     outcome_.epoch = epoch;
     outcome_.error = std::move(error);
     outcome_.run_seconds = clock_.ElapsedSeconds();
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
-  [[nodiscard]] bool IsTerminalLocked() const {
+  [[nodiscard]] bool IsTerminalLocked() const TCIM_REQUIRES(mu_) {
     return state_ == JobState::kDone || state_ == JobState::kFailed ||
            state_ == JobState::kCancelled;
   }
 
   const std::uint64_t id_;
   const JobOptions options_;
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  JobState state_ = JobState::kQueued;
-  JobOutcome outcome_;
-  util::Timer clock_;  ///< re-armed at each transition
+  const JobKind kind_;
+  mutable util::Mutex mu_;
+  mutable util::CondVar cv_;
+  JobState state_ TCIM_GUARDED_BY(mu_) = JobState::kQueued;
+  JobOutcome outcome_ TCIM_GUARDED_BY(mu_);
+  util::Timer clock_ TCIM_GUARDED_BY(mu_);  ///< re-armed at each transition
 };
 
 /// Client-side view of a submitted job.

@@ -42,10 +42,10 @@ Scheduler::Scheduler(SchedulerConfig config)
     // Same spawn-failure discipline as WorkerPool: release any
     // started dispatchers before the members they block on go away.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(&mu_);
       shut_down_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     for (std::thread& t : dispatchers_) t.join();
     throw;
   }
@@ -82,7 +82,7 @@ JobHandle Scheduler::Submit(graph::Graph graph, JobOptions options) {
   std::shared_ptr<JobRecord> record;
   bool admitted = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (!accepting_) {
       throw std::runtime_error("Scheduler::Submit: scheduler is shut down");
     }
@@ -94,7 +94,7 @@ JobHandle Scheduler::Submit(graph::Graph graph, JobOptions options) {
       UpdateDepthGaugesLocked();
     }
   }
-  if (admitted) cv_.notify_one();
+  if (admitted) cv_.NotifyOne();
   return JobHandle{std::move(record)};
 }
 
@@ -106,7 +106,7 @@ JobHandle Scheduler::SubmitQuery(std::shared_ptr<StreamSession> session,
   std::shared_ptr<JobRecord> record;
   bool admitted = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (!accepting_) {
       throw std::runtime_error(
           "Scheduler::SubmitQuery: scheduler is shut down");
@@ -119,7 +119,7 @@ JobHandle Scheduler::SubmitQuery(std::shared_ptr<StreamSession> session,
       UpdateDepthGaugesLocked();
     }
   }
-  if (admitted) cv_.notify_one();
+  if (admitted) cv_.NotifyOne();
   return JobHandle{std::move(record)};
 }
 
@@ -132,7 +132,7 @@ JobHandle Scheduler::SubmitUpdate(std::shared_ptr<StreamSession> session,
   std::shared_ptr<JobRecord> record;
   bool admitted = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (!accepting_) {
       throw std::runtime_error(
           "Scheduler::SubmitUpdate: scheduler is shut down");
@@ -146,26 +146,26 @@ JobHandle Scheduler::SubmitUpdate(std::shared_ptr<StreamSession> session,
       UpdateDepthGaugesLocked();
     }
   }
-  if (admitted) cv_.notify_one();
+  if (admitted) cv_.NotifyOne();
   return JobHandle{std::move(record)};
 }
 
 void Scheduler::Pause() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   paused_ = true;
 }
 
 void Scheduler::Resume() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     paused_ = false;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void Scheduler::Shutdown(ShutdownMode mode) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     accepting_ = false;
     paused_ = false;
     shut_down_ = true;
@@ -186,38 +186,38 @@ void Scheduler::Shutdown(ShutdownMode mode) {
       UpdateDepthGaugesLocked();
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   // Serialize the join phase: std::thread objects are not safe to
   // joinable()/join() from two threads, and Shutdown is documented
   // safe to call concurrently/repeatedly.
-  std::lock_guard<std::mutex> join_lock(join_mu_);
+  util::MutexLock join_lock(&join_mu_);
   for (std::thread& t : dispatchers_) {
     if (t.joinable()) t.join();
   }
 }
 
 std::uint64_t Scheduler::submitted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return accepted_;
 }
 std::uint64_t Scheduler::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return policy_lane_.size() + update_lane_.size();
 }
 std::uint64_t Scheduler::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return running_;
 }
 std::uint64_t Scheduler::completed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return completed_;
 }
 std::uint64_t Scheduler::rejected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return rejected_;
 }
 std::uint64_t Scheduler::coalesced() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return coalesced_;
 }
 
@@ -247,6 +247,18 @@ std::size_t Scheduler::DispatchableUpdateLocked() const {
   return update_lane_.size();
 }
 
+bool Scheduler::DispatcherShouldWakeLocked() const {
+  const bool dispatchable =
+      !policy_lane_.empty() ||
+      DispatchableUpdateLocked() < update_lane_.size();
+  if (shut_down_) {
+    // Drain: exit only when both lanes are empty; a lane held up
+    // by a busy session wakes us again when the batch finishes.
+    return dispatchable || (policy_lane_.empty() && update_lane_.empty());
+  }
+  return !paused_ && dispatchable;
+}
+
 void Scheduler::DispatcherLoop() {
   for (;;) {
     QueueEntry entry;
@@ -254,19 +266,8 @@ void Scheduler::DispatcherLoop() {
     std::vector<std::uint64_t> follower_orders;
     std::uint64_t start_order = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] {
-        const bool dispatchable =
-            !policy_lane_.empty() ||
-            DispatchableUpdateLocked() < update_lane_.size();
-        if (shut_down_) {
-          // Drain: exit only when both lanes are empty; a lane held up
-          // by a busy session wakes us again when the batch finishes.
-          return dispatchable ||
-                 (policy_lane_.empty() && update_lane_.empty());
-        }
-        return !paused_ && dispatchable;
-      });
+      util::MutexLock lock(&mu_);
+      while (!DispatcherShouldWakeLocked()) cv_.Wait(mu_);
       if (policy_lane_.empty() && update_lane_.empty()) {
         if (shut_down_) return;
         continue;
@@ -383,7 +384,7 @@ void Scheduler::RunEntry(QueueEntry entry, std::vector<QueueEntry> followers,
   // before publishing the terminal state, so a client returning from
   // Wait() observes them already settled.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     running_ -= 1 + followers.size();
     completed_ += 1 + followers.size();
     if (ok && any_running) coalesced_ += followers.size();
@@ -397,7 +398,7 @@ void Scheduler::RunEntry(QueueEntry entry, std::vector<QueueEntry> followers,
   for (const QueueEntry& f : followers) {
     obs::TraceAsyncEnd(KindSpanName(kind), "job", f.record->id());
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (!any_running) return;  // every record already terminal
   if (!ok) {
     entry.record->MarkFailed(error);

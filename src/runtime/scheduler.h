@@ -41,12 +41,10 @@
 // Layer: §10 runtime — see docs/ARCHITECTURE.md.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_set>
 #include <vector>
@@ -56,6 +54,8 @@
 #include "runtime/job.h"
 #include "runtime/stream_session.h"
 #include "stream/edge_delta.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tcim::runtime {
 
@@ -163,20 +163,26 @@ class Scheduler {
   };
 
   void DispatcherLoop();
+  /// The DispatcherLoop wait predicate: true when a dispatcher has
+  /// work it may take right now, or (during shutdown) when both lanes
+  /// drained and the thread should exit. Caller holds mu_.
+  [[nodiscard]] bool DispatcherShouldWakeLocked() const TCIM_REQUIRES(mu_);
   /// Pops the next policy-lane entry per policy; lane must be
   /// non-empty. Caller holds mu_.
-  QueueEntry PopPolicyLocked();
+  QueueEntry PopPolicyLocked() TCIM_REQUIRES(mu_);
   /// Index of the first update-lane entry whose session is not busy,
   /// or update lane size when none is dispatchable. Caller holds mu_.
-  [[nodiscard]] std::size_t DispatchableUpdateLocked() const;
+  [[nodiscard]] std::size_t DispatchableUpdateLocked() const
+      TCIM_REQUIRES(mu_);
   /// Admission check + record creation shared by the Submit* fronts.
   /// Returns {record, admitted}; a rejected record is already terminal
   /// (kFailed) and must not be queued. Caller holds mu_.
   std::pair<std::shared_ptr<JobRecord>, bool> AdmitLocked(JobKind kind,
-                                                          JobOptions options);
+                                                          JobOptions options)
+      TCIM_REQUIRES(mu_);
   /// Mirrors the lane depths into the scheduler.* registry gauges.
   /// Caller holds mu_.
-  void UpdateDepthGaugesLocked() const;
+  void UpdateDepthGaugesLocked() const TCIM_REQUIRES(mu_);
   /// Runs one entry (and its coalesced followers) outside mu_.
   void RunEntry(QueueEntry entry, std::vector<QueueEntry> followers,
                 std::uint64_t start_order,
@@ -186,25 +192,30 @@ class Scheduler {
   BankPool pool_;
   SchedulerTestHooks hooks_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<QueueEntry> policy_lane_;  ///< kCount + kQuery
-  std::deque<QueueEntry> update_lane_;  ///< kUpdate, FIFO
+  mutable util::Mutex mu_;
+  util::CondVar cv_;
+  /// kCount + kQuery
+  std::deque<QueueEntry> policy_lane_ TCIM_GUARDED_BY(mu_);
+  /// kUpdate, FIFO
+  std::deque<QueueEntry> update_lane_ TCIM_GUARDED_BY(mu_);
   /// Sessions with an update batch currently applying — the gate that
   /// keeps one session's batches in submission order.
-  std::unordered_set<const StreamSession*> busy_sessions_;
-  bool accepting_ = true;
-  bool cancel_pending_ = false;
-  bool paused_ = false;
-  bool shut_down_ = false;
-  std::uint64_t next_sequence_ = 0;
-  std::uint64_t accepted_ = 0;  ///< submissions that entered a lane
-  std::uint64_t next_start_order_ = 0;
-  std::uint64_t running_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::uint64_t coalesced_ = 0;
-  std::mutex join_mu_;  ///< serializes the Shutdown join phase
+  std::unordered_set<const StreamSession*> busy_sessions_
+      TCIM_GUARDED_BY(mu_);
+  bool accepting_ TCIM_GUARDED_BY(mu_) = true;
+  bool cancel_pending_ TCIM_GUARDED_BY(mu_) = false;
+  bool paused_ TCIM_GUARDED_BY(mu_) = false;
+  bool shut_down_ TCIM_GUARDED_BY(mu_) = false;
+  std::uint64_t next_sequence_ TCIM_GUARDED_BY(mu_) = 0;
+  /// Submissions that entered a lane.
+  std::uint64_t accepted_ TCIM_GUARDED_BY(mu_) = 0;
+  std::uint64_t next_start_order_ TCIM_GUARDED_BY(mu_) = 0;
+  std::uint64_t running_ TCIM_GUARDED_BY(mu_) = 0;
+  std::uint64_t completed_ TCIM_GUARDED_BY(mu_) = 0;
+  std::uint64_t rejected_ TCIM_GUARDED_BY(mu_) = 0;
+  std::uint64_t coalesced_ TCIM_GUARDED_BY(mu_) = 0;
+  util::Mutex join_mu_;  ///< serializes the Shutdown join phase
+  /// Written only in the constructor; joined under join_mu_.
   std::vector<std::thread> dispatchers_;
 };
 

@@ -35,7 +35,7 @@ bool Invalidates2dPlan(const ServingPlan2d& plan,
 StreamSession::StreamSession(const graph::Graph& g,
                              stream::StreamConfig config)
     : counter_(g, config) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  util::MutexLock lock(&writer_mu_);
   (void)PublishLocked(nullptr);  // epoch 0: the seed graph
 }
 
@@ -93,7 +93,7 @@ std::uint64_t StreamSession::PublishLocked(const stream::EdgeDelta* delta) {
 
 StreamSession::AppliedBatch StreamSession::Apply(
     const stream::EdgeDelta& delta) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  util::MutexLock lock(&writer_mu_);
   std::string span_args;
   if (obs::TraceEnabled()) {
     span_args = "\"ops\":" + std::to_string(delta.size());
@@ -104,7 +104,7 @@ StreamSession::AppliedBatch StreamSession::Apply(
   if (before_publish_) before_publish_();
   const std::uint64_t epoch = PublishLocked(&delta);
   {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    util::MutexLock stats_lock(&stats_mu_);
     stats_.Add(result);
   }
   StreamMetrics& metrics = StreamMetrics::Get();
@@ -126,7 +126,7 @@ graph::Graph StreamSession::Snapshot() const {
 }
 
 StreamStats StreamSession::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  util::MutexLock lock(&stats_mu_);
   return stats_;
 }
 

@@ -27,13 +27,14 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 
 #include "graph/graph.h"
 #include "runtime/aggregate.h"
 #include "runtime/epoch_manager.h"
 #include "stream/edge_delta.h"
 #include "stream/incremental_counter.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tcim::runtime {
 
@@ -93,14 +94,17 @@ class StreamSession {
   /// publish) — it decides whether the previous epoch's 2D serving-
   /// plan cache carries forward or the new epoch starts fresh. Caller
   /// holds writer_mu_.
-  std::uint64_t PublishLocked(const stream::EdgeDelta* delta);
+  std::uint64_t PublishLocked(const stream::EdgeDelta* delta)
+      TCIM_REQUIRES(writer_mu_);
 
-  mutable std::mutex writer_mu_;  ///< serializes Apply (and the ctor)
-  stream::IncrementalCounter counter_;  ///< guarded by writer_mu_
+  mutable util::Mutex writer_mu_;  ///< serializes Apply (and the ctor)
+  /// The single-threaded incremental counter; every touch is a batch
+  /// apply or a publish, both under the writer lock.
+  stream::IncrementalCounter counter_ TCIM_GUARDED_BY(writer_mu_);
   EpochManager epochs_;
   std::function<void()> before_publish_;  ///< test hook; set pre-concurrency
-  mutable std::mutex stats_mu_;  ///< guards stats_ (readers vs writer)
-  StreamStats stats_;
+  mutable util::Mutex stats_mu_;  ///< guards stats_ (readers vs writer)
+  StreamStats stats_ TCIM_GUARDED_BY(stats_mu_);
   std::atomic<std::uint64_t> plan2d_invalidations_{0};
 };
 

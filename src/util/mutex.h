@@ -1,0 +1,92 @@
+// Annotated mutex wrappers: util::Mutex / util::MutexLock /
+// util::CondVar are drop-in replacements for std::mutex /
+// std::lock_guard / std::condition_variable that carry the Clang
+// Thread Safety Analysis capability attributes
+// (util/thread_annotations.h), so `clang++ -Werror=thread-safety`
+// can prove every access to a TCIM_GUARDED_BY field happens under
+// its lock. Off-clang the attributes vanish and each wrapper is a
+// zero-overhead veneer over the std primitive it owns — TSan and
+// the runtime behavior are identical to the pre-annotation code.
+//
+// Conventions (docs/STATIC_ANALYSIS.md):
+//  * fields: `Mutex mu_;` + `T field_ TCIM_GUARDED_BY(mu_);`
+//  * scopes: `MutexLock lock(&mu_);` (never manual Lock/Unlock pairs
+//    outside this header)
+//  * waits: explicit predicate loops — `while (!pred) cv_.Wait(mu_);`
+//    — because a lambda passed to std::condition_variable::wait is a
+//    separate function body the analysis cannot see into.
+//  * The only TCIM_NO_THREAD_SAFETY_ANALYSIS escapes live inside this
+//    header (CondVar::Wait must release/reacquire the capability it
+//    formally REQUIRES); tools/lint_tcim.py counts escapes elsewhere.
+//
+// Layer: §1 util — see docs/ARCHITECTURE.md. Conventions: wrappers
+// add no state beyond the std primitive (zero-cost; dimensionless).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace tcim::util {
+
+/// std::mutex carrying the TSA "mutex" capability. Exclusive only —
+/// the repo has no reader/writer locks.
+class TCIM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() TCIM_ACQUIRE() { mu_.lock(); }
+  void Unlock() TCIM_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool TryLock() TCIM_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock scope over util::Mutex (the std::lock_guard shape).
+class TCIM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) TCIM_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() TCIM_RELEASE() { mu_->Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable bound to util::Mutex. Wait() formally REQUIRES
+/// the mutex — the analysis treats the capability as held across the
+/// call, which matches the caller-visible contract (the lock is held
+/// again whenever guarded state is read) even though the primitive
+/// releases it while blocked. The predicate-loop convention lives at
+/// the call site: `while (!predicate) cv.Wait(mu);`.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, reacquires.
+  /// The release/reacquire is invisible to the analysis by design —
+  /// hence the escape hatch, the one sanctioned use in the repo.
+  void Wait(Mutex& mu) TCIM_REQUIRES(mu) TCIM_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // the capability stays with the caller
+  }
+
+  void NotifyOne() noexcept { cv_.notify_one(); }
+  void NotifyAll() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace tcim::util

@@ -1,0 +1,81 @@
+// Clang Thread Safety Analysis macro shims: TCIM_GUARDED_BY and
+// friends expand to the [-Wthread-safety] capability attributes under
+// clang and to nothing everywhere else, so annotating lock discipline
+// costs zero bytes and zero cycles on every compiler while the clang
+// CI leg (`-Werror=thread-safety`) turns a missed lock into a build
+// failure instead of a stress-test flake.
+//
+// Vocabulary (docs/STATIC_ANALYSIS.md walks a worked example):
+//   TCIM_CAPABILITY("mutex")   — a class is a lockable capability
+//   TCIM_SCOPED_CAPABILITY     — an RAII class acquires in ctor /
+//                                releases in dtor (util::MutexLock)
+//   TCIM_GUARDED_BY(mu)        — field access requires holding `mu`
+//   TCIM_PT_GUARDED_BY(mu)     — like GUARDED_BY, for pointed-to data
+//   TCIM_REQUIRES(mu)          — caller must hold `mu` (the *Locked
+//                                private-method convention)
+//   TCIM_EXCLUDES(mu)          — caller must NOT hold `mu` (deadlock
+//                                documentation for re-entrant fronts)
+//   TCIM_ACQUIRE / TCIM_RELEASE / TCIM_TRY_ACQUIRE
+//                              — lock-transfer effects of a function
+//   TCIM_ASSERT_CAPABILITY(mu) — runtime-checked "is held here"
+//   TCIM_RETURN_CAPABILITY(mu) — accessor returning a capability
+//   TCIM_NO_THREAD_SAFETY_ANALYSIS
+//                              — opt a function out; reserved for
+//                                wrapper internals (util/mutex.h) and
+//                                audited, commented exceptions only —
+//                                tools/lint_tcim.py counts escapes.
+//
+// Layer: §1 util — see docs/ARCHITECTURE.md. Conventions: annotations
+// are compile-time only (dimensionless; no runtime unit or cost).
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define TCIM_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define TCIM_THREAD_ANNOTATION_(x)  // no-op off-clang
+#endif
+
+#define TCIM_CAPABILITY(x) TCIM_THREAD_ANNOTATION_(capability(x))
+
+#define TCIM_SCOPED_CAPABILITY TCIM_THREAD_ANNOTATION_(scoped_lockable)
+
+#define TCIM_GUARDED_BY(x) TCIM_THREAD_ANNOTATION_(guarded_by(x))
+
+#define TCIM_PT_GUARDED_BY(x) TCIM_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+#define TCIM_ACQUIRED_BEFORE(...) \
+  TCIM_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+#define TCIM_ACQUIRED_AFTER(...) \
+  TCIM_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+#define TCIM_REQUIRES(...) \
+  TCIM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+#define TCIM_REQUIRES_SHARED(...) \
+  TCIM_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+#define TCIM_ACQUIRE(...) \
+  TCIM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+#define TCIM_ACQUIRE_SHARED(...) \
+  TCIM_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+#define TCIM_RELEASE(...) \
+  TCIM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+#define TCIM_RELEASE_SHARED(...) \
+  TCIM_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+#define TCIM_TRY_ACQUIRE(...) \
+  TCIM_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+#define TCIM_EXCLUDES(...) TCIM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+#define TCIM_ASSERT_CAPABILITY(x) \
+  TCIM_THREAD_ANNOTATION_(assert_capability(x))
+
+#define TCIM_RETURN_CAPABILITY(x) TCIM_THREAD_ANNOTATION_(lock_returned(x))
+
+#define TCIM_NO_THREAD_SAFETY_ANALYSIS \
+  TCIM_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -1,0 +1,57 @@
+// Compile-fail fixture for the clang thread-safety gate. One TU, two
+// ctest entries (see CMakeLists.txt "Thread-safety compile-fail
+// harness"):
+//
+//   thread_safety_compile_ok    compiles this file as-is with
+//                               -Werror=thread-safety — must SUCCEED,
+//                               proving the harness itself is sound
+//                               (right flags, right include path).
+//   thread_safety_compile_fail  compiles it with -DTCIM_SEED_VIOLATION
+//                               — must FAIL (ctest WILL_FAIL), proving
+//                               the analysis actually rejects a
+//                               guarded-field access without the lock.
+//
+// Both entries register only when a clang is found (the annotations
+// are no-ops everywhere else, so there is nothing to prove without
+// one); the clang-analysis CI leg always runs them.
+//
+// This is a fixture, not part of the library: never added to any
+// build target's sources.
+#include <cstdint>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(std::uint64_t amount) {
+    tcim::util::MutexLock lock(&mu_);
+    balance_ += amount;
+  }
+
+  std::uint64_t Balance() const {
+#if defined(TCIM_SEED_VIOLATION)
+    // The seeded bug: reading the guarded field without mu_ held.
+    // clang: error: reading variable 'balance_' requires holding
+    // mutex 'mu_' [-Werror,-Wthread-safety-precise]
+    return balance_;
+#else
+    tcim::util::MutexLock lock(&mu_);
+    return balance_;
+#endif
+  }
+
+ private:
+  mutable tcim::util::Mutex mu_;
+  std::uint64_t balance_ TCIM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.Balance() == 1 ? 0 : 1;
+}

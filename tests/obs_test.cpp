@@ -432,5 +432,47 @@ TEST(Trace, ConcurrentEmittersLoseNothing) {
   std::remove(path.c_str());
 }
 
+// Regression (found by the thread-safety annotation sweep):
+// Collector::base_ — the capture origin NowNs() subtracts on every
+// stamp — was a plain steady_clock::time_point that Start() rewrote
+// under the collector mutex while emitter threads read it lock-free
+// through NowNs(). A capture restarted while spans were in flight was
+// therefore a data race on base_; it is now an atomic nanosecond
+// offset. This test pins the racy interleaving: emitters stamp spans
+// continuously while the main thread stops and restarts the capture,
+// and under the TSan CI leg it flags a plain-field base_ the moment
+// one reappears.
+//
+// Why the annotation pass caught this and the TSan leg never did: the
+// old write was `base_ = steady_clock::now();`, and GCC's TSan pass
+// does not instrument a store that is the direct LHS of a call — the
+// race was invisible to the sanitizer by compiler limitation
+// (verified: staging the same store through a local makes TSan flag
+// this exact test). Static analysis has no such blind spot, which is
+// the point of the annotation gate.
+TEST(Trace, RestartWhileEmittingIsRaceFree) {
+  const std::string path = testing::TempDir() + "obs_test_restart_trace.json";
+  StopTracing();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        TraceSpan span("obs_test.restart_span", "test");
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    StartTracing(path);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    StopTracing();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads) t.join();
+  StopTracing();  // fold any post-stop thread-exit flushes into the file
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace tcim::obs
